@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures and prints
+the same rows/series the paper reports.  Monte-Carlo depth is controlled
+by environment variables so CI stays fast while full-fidelity runs remain
+one command away:
+
+* ``REPRO_SAMPLES``  -- samples per Monte-Carlo data point (default 200;
+  the paper used >= 1e5 over ~6 days of CPU time).
+* ``REPRO_SCALE``    -- multiplier on all workload sizes (default 1.0).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+
+def mc_samples(default: int = 200) -> int:
+    """Samples per Monte-Carlo point, from the environment."""
+    return max(1, int(float(os.environ.get("REPRO_SAMPLES", default))
+                      * scale()))
+
+
+def scale() -> float:
+    """Global workload multiplier, from the environment."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def print_table(title: str, header: Iterable[str],
+                rows: Iterable[Iterable]) -> None:
+    """Render an aligned ASCII table (bench output, mirrors the paper)."""
+    header = [str(h) for h in header]
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in str_rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) < 1e-3 or abs(cell) >= 1e5:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)

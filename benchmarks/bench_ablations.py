@@ -1,0 +1,94 @@
+"""Ablations of Q3DE's design choices (called out in DESIGN.md).
+
+1. **Matching-queue batch size** -- Sec. VI-C claims total rollback
+   buffer memory is minimized at ``c_bat = sqrt(2 c_win)``.
+2. **Decoder family** -- the architecture targets the greedy decoder for
+   its constant-time distance queries; how much accuracy does it give up
+   against exact MWPM (Blossom)?
+3. **Detection-driven vs oracle re-execution** -- Fig. 8 idealizes
+   "with rollback" as knowing the true region; the end-to-end run uses
+   the *detected* region and measures what the estimation error costs.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arch.buffers import optimal_batch_cycles
+from repro.sim.endtoend import EndToEndExperiment
+from repro.sim.memory import logical_error_rate
+
+from _common import mc_samples, print_table
+
+
+def total_buffer_bits(node_count: int, c_win: int, c_bat: int) -> float:
+    """Syndrome queue (c_win + c_bat layers) + matching queue batches."""
+    return (node_count * (c_win + c_bat)
+            + node_count * math.ceil(c_win / c_bat))
+
+
+@pytest.mark.benchmark(group="ablation")
+def bench_ablation_batch_size(benchmark):
+    """Memory vs c_bat: the sqrt(2 c_win) rule must sit at the minimum."""
+    c_win, nodes = 300, 2 * 31 * 31
+
+    def sweep():
+        candidates = sorted({1, 2, 5, 10, optimal_batch_cycles(c_win),
+                             40, 80, 150, 300})
+        return [(c, total_buffer_bits(nodes, c_win, c)) for c in candidates]
+
+    curve = benchmark(sweep)
+    print_table("Ablation: rollback buffer memory vs matching-queue batch",
+                ["c_bat", "total bits"],
+                [[c, f"{bits:,.0f}"] for c, bits in curve])
+    best_cbat = min(curve, key=lambda cb: cb[1])[0]
+    assert best_cbat == optimal_batch_cycles(c_win)
+
+
+@pytest.mark.benchmark(group="ablation")
+def bench_ablation_decoder_family(benchmark):
+    """Greedy vs exact MWPM accuracy at equal noise."""
+    samples = mc_samples()
+    d, ps = 7, [8e-3, 1.5e-2, 2.5e-2]
+
+    def run():
+        rows = []
+        for p in ps:
+            greedy = logical_error_rate(d, p, samples, decoder="greedy",
+                                        seed=31).per_cycle
+            exact = logical_error_rate(d, p, samples, decoder="mwpm",
+                                       seed=32).per_cycle
+            rows.append([p, greedy, exact])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(f"Ablation: decoder accuracy (d={d})",
+                ["p", "greedy p_L/cycle", "MWPM p_L/cycle"], rows)
+    # Exact matching never loses to greedy beyond sampling noise.
+    for _, greedy, exact in rows:
+        assert exact <= greedy + 3.0 / (samples * d)
+
+
+@pytest.mark.benchmark(group="ablation")
+def bench_ablation_detected_vs_oracle(benchmark):
+    """End-to-end: what does imperfect region estimation cost?"""
+    shots = max(20, mc_samples() // 8)
+    exp = EndToEndExperiment(13, 0.005, anomaly_size=4, onset=120,
+                             cycles=300, c_win=80, n_th=8)
+
+    def run():
+        return exp.run(shots, np.random.default_rng(7))
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    rates = res.rates()
+    print_table(
+        "Ablation: exposure-window failure rate by decoding knowledge",
+        ["strategy", "failure rate"],
+        [["naive (no rollback)", rates["naive"]],
+         ["detected region (Q3DE)", rates["detected"]],
+         ["oracle region", rates["oracle"]],
+         ["detection rate", res.detection_rate],
+         ["mean latency (cycles)", res.mean_latency]])
+    assert res.detection_rate > 0.7
+    assert rates["detected"] <= rates["naive"] + 0.05

@@ -1,0 +1,66 @@
+"""Fig. 3: logical error rates with and without an MBBE.
+
+Paper setup: distances 9/15/21, anomaly size 4, p_ano = 0.5, logical
+Pauli-X error rate per cycle from d-cycle idling.  Expected shape: the
+MBBE raises the curves by orders of magnitude (more at lower p), but the
+crossing point (threshold) is unchanged.
+
+Reduced defaults (REPRO_SAMPLES to deepen): distances 9/13/17 and a
+five-point p sweep keep the bench under a few minutes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.noise import AnomalousRegion
+from repro.sim.memory import MemoryExperiment
+
+from _common import mc_samples, print_table
+
+DISTANCES = [9, 13, 17]
+PHYSICAL_RATES = [6e-3, 1e-2, 2e-2, 3e-2, 4e-2]
+ANOMALY_SIZE = 4
+
+
+def _sweep(with_mbbe: bool, samples: int) -> dict[tuple[int, float], float]:
+    rates = {}
+    for d in DISTANCES:
+        region = AnomalousRegion.centered(d, ANOMALY_SIZE) if with_mbbe \
+            else None
+        for p in PHYSICAL_RATES:
+            exp = MemoryExperiment(d, p, region=region)
+            seed = hash((d, p, with_mbbe)) % (2 ** 32)
+            est = exp.run(samples, np.random.default_rng(seed))
+            rates[(d, p)] = est.per_cycle
+    return rates
+
+
+@pytest.mark.benchmark(group="fig3")
+def bench_fig3_logical_error_rates(benchmark):
+    """Regenerate both Fig. 3 curve families and check their shape."""
+    samples = mc_samples()
+
+    def run():
+        return _sweep(False, samples), _sweep(True, samples)
+
+    clean, dirty = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for p in PHYSICAL_RATES:
+        row = [p]
+        for d in DISTANCES:
+            row.append(clean[(d, p)])
+        for d in DISTANCES:
+            row.append(dirty[(d, p)])
+        rows.append(row)
+    print_table(
+        "Fig. 3: logical error rate per cycle (MBBE-free | with MBBE)",
+        ["p"] + [f"d={d}" for d in DISTANCES]
+        + [f"d={d}+MBBE" for d in DISTANCES],
+        rows)
+
+    # Shape checks: MBBE hurts; at low p larger d helps in the clean case.
+    p_low = PHYSICAL_RATES[0]
+    for d in DISTANCES:
+        assert dirty[(d, p_low)] >= clean[(d, p_low)]
+    assert clean[(DISTANCES[-1], p_low)] <= clean[(DISTANCES[0], p_low)]

@@ -1,0 +1,70 @@
+"""Fig. 7: anomaly detection window size, latency, and position error.
+
+Paper setup: p = 1e-3, d = 21, d_ano = 4, confidence 0.99, n_th = 20.
+Left panel: required window c_win for 1 % detection errors and the
+detection latency, against the error-rate ratio p_ano / p.  Right panel:
+the error of the estimated anomaly position.
+
+Expected shape: required window and latency fall steeply as the ratio
+grows; the position estimate stays within a couple of nodes.
+"""
+
+import pytest
+
+from repro.sim.detection import (
+    analytic_required_window,
+    empirical_required_window,
+    run_detection_trials,
+)
+
+from _common import print_table, scale
+
+DISTANCE = 21
+P = 1e-3
+ANOMALY_SIZE = 4
+N_TH = 20
+RATIOS = [10, 20, 50, 100]
+
+
+@pytest.mark.benchmark(group="fig7")
+def bench_fig7_detection_unit(benchmark):
+    """Regenerate Fig. 7's three series over the rate-ratio sweep."""
+    trials = max(4, int(8 * scale()))
+
+    def run():
+        rows = []
+        for ratio in RATIOS:
+            p_ano = P * ratio
+            c_win, perf = empirical_required_window(
+                DISTANCE, P, p_ano, ANOMALY_SIZE, n_th=N_TH,
+                trials=trials, seed=ratio)
+            rows.append((ratio, c_win, perf.mean_latency,
+                         perf.mean_position_error))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_table(
+        "Fig. 7: anomaly detection (p=1e-3, d=21, d_ano=4, n_th=20)",
+        ["p_ano/p", "required c_win", "latency (cycles)",
+         "position error (nodes)"],
+        rows)
+
+    windows = [r[1] for r in rows]
+    latencies = [r[2] for r in rows]
+    # Shape: both fall (weakly) as the ratio grows; position stays tight.
+    assert windows[-1] <= windows[0]
+    assert latencies[-1] <= latencies[0] * 1.5
+    assert all(r[3] < 5.0 for r in rows)
+    # Analytic model agrees on the trend.
+    assert (analytic_required_window(P, P * RATIOS[-1])
+            < analytic_required_window(P, P * RATIOS[0]))
+
+
+@pytest.mark.benchmark(group="fig7")
+def bench_fig7_single_operating_point(benchmark):
+    """Time one full detection campaign at the paper's operating point."""
+    result = benchmark(
+        run_detection_trials,
+        DISTANCE, P, 0.05, ANOMALY_SIZE, 300, N_TH, 0.01, 3, seed=1)
+    assert result.miss_rate == 0.0

@@ -1,0 +1,121 @@
+"""Fig. 8: decoder re-execution — logical error rates and effective
+code-distance reduction.
+
+Paper setup: anomaly sizes 2 and 4; for each distance, three curves:
+MBBE-free, with MBBE decoded naively ("without rollback"), and with MBBE
+decoded with anomaly-aware weights ("with rollback").  The bottom panels
+convert rate ratios into effective code-distance reductions via Eq. (4),
+which should approach 2*d_ano (naive) and d_ano (rollback).
+
+Expected shape: rollback curves sit between MBBE-free and naive, and the
+Eq. (4) reduction is roughly twice as large without rollback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.firstorder import effective_distance_reduction
+from repro.noise import AnomalousRegion
+from repro.sim.memory import MemoryExperiment
+
+from _common import mc_samples, print_table
+
+DISTANCES = [9, 13]
+PHYSICAL_RATES = [8e-3, 1.5e-2, 2.5e-2]
+ANOMALY_SIZES = [2, 4]
+
+
+def _rate(d, p, samples, region=None, informed=False, seed=0):
+    exp = MemoryExperiment(d, p, region=region, informed=informed)
+    return exp.run(samples, np.random.default_rng(seed)).per_cycle
+
+
+@pytest.mark.benchmark(group="fig8")
+def bench_fig8_rollback_improvement(benchmark):
+    """Regenerate the Fig. 8 rate curves for both anomaly sizes."""
+    samples = mc_samples()
+
+    def run():
+        table = {}
+        for d_ano in ANOMALY_SIZES:
+            for d in DISTANCES:
+                region = AnomalousRegion.centered(d, d_ano)
+                for p in PHYSICAL_RATES:
+                    base_seed = hash((d_ano, d, p)) % (2 ** 31)
+                    table[(d_ano, d, p)] = (
+                        _rate(d, p, samples, seed=base_seed),
+                        _rate(d, p, samples, region, False, base_seed + 1),
+                        _rate(d, p, samples, region, True, base_seed + 2),
+                    )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for d_ano in ANOMALY_SIZES:
+        rows = []
+        for d in DISTANCES:
+            for p in PHYSICAL_RATES:
+                free, naive, rolled = table[(d_ano, d, p)]
+                rows.append([d, p, free, naive, rolled])
+        print_table(
+            f"Fig. 8 (top, d_ano={d_ano}): p_L per cycle",
+            ["d", "p", "MBBE free", "without rollback", "with rollback"],
+            rows)
+
+    # Shape: rollback never worse than naive at the lowest p (where the
+    # first-order analysis dominates); MBBE free is the floor.
+    for d_ano in ANOMALY_SIZES:
+        for d in DISTANCES:
+            free, naive, rolled = table[(d_ano, d, PHYSICAL_RATES[0])]
+            assert free <= naive + 1e-9
+            if naive > 20 / mc_samples():  # resolved by the sampling depth
+                assert rolled <= naive * 1.25
+
+
+@pytest.mark.benchmark(group="fig8")
+def bench_fig8_distance_reduction(benchmark):
+    """Regenerate the Fig. 8 bottom panels (Eq. 4 reductions).
+
+    The paper notes this estimator carries large uncertainty (they plot
+    only points with standard error below four and still see values above
+    the asymptotic 2*d_ano / d_ano).  At bench-scale sampling the robust,
+    checkable shape is *relative*: the rollback reduction must be smaller
+    than the naive reduction, i.e. re-execution recovers roughly half the
+    lost distance.  Absolute convergence needs the paper's >= 1e5-sample,
+    small-p regime (see EXPERIMENTS.md).
+    """
+    samples = max(4 * mc_samples(), 1000)
+    d, p = 9, 8e-3  # below the greedy decoder's effective threshold
+
+    def run():
+        out = {}
+        free_d = _rate(d, p, samples, seed=11)
+        free_dm2 = _rate(d - 2, p, samples, seed=12)
+        for d_ano in ANOMALY_SIZES:
+            region = AnomalousRegion.centered(d, d_ano)
+            naive = _rate(d, p, samples, region, False, seed=13 + d_ano)
+            rolled = _rate(d, p, samples, region, True, seed=17 + d_ano)
+            out[d_ano] = (
+                effective_distance_reduction(naive, free_d, free_dm2),
+                effective_distance_reduction(rolled, free_d, free_dm2),
+            )
+        return out
+
+    reductions = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[d_ano, f"{2 * d_ano}", f"{red[0]:.2f}",
+             f"{d_ano}", f"{red[1]:.2f}"]
+            for d_ano, red in reductions.items()]
+    print_table(
+        f"Fig. 8 (bottom, d={d}, p={p}): effective distance reduction",
+        ["d_ano", "asymptote naive (2*d_ano)", "measured naive",
+         "asymptote rollback (d_ano)", "measured rollback"],
+        rows)
+
+    # Shape: reductions positive; rollback loses less distance than naive.
+    for d_ano, (naive_red, rolled_red) in reductions.items():
+        assert naive_red > 0
+        assert rolled_red <= naive_red
+    # Bigger anomalies cost more distance.
+    assert (reductions[ANOMALY_SIZES[1]][0]
+            >= reductions[ANOMALY_SIZES[0]][0] - 1.0)

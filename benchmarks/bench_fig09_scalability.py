@@ -1,0 +1,119 @@
+"""Fig. 9: required qubit density vs chip area for p_L < 1e-10.
+
+Paper setup: p/p_th = 0.1, 1 us cycles, baseline d_ano=4, f_ano=0.1 Hz,
+tau_ano=25 ms, c_lat=30; three panels sweep anomaly size, error duration,
+and anomaly frequency.  Expected shape: without rays the required density
+falls as 1/area; with rays the baseline (full-lifetime exposure at
+d - 2c) needs far more density than Q3DE (c_lat-cycle exposure at d - c),
+with up to ~10x qubit-count savings around density ratio ten.
+"""
+
+import pytest
+
+from repro.scaling.model import (
+    ScalingParameters,
+    density_curve,
+    sweep_anomaly_size,
+    sweep_duration,
+    sweep_frequency,
+)
+
+from _common import print_table, scale
+
+AREAS = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+
+
+def _params():
+    horizon = int(20_000_000 * scale())
+    return ScalingParameters(horizon_cycles=horizon)
+
+
+@pytest.mark.benchmark(group="fig9")
+def bench_fig9_anomaly_size_panel(benchmark):
+    """Left panel: one curve per anomaly size, Q3DE vs baseline."""
+    params = _params()
+    sizes = [1, 2, 4]
+
+    def run():
+        return (sweep_anomaly_size(params, sizes, AREAS, use_q3de=True),
+                sweep_anomaly_size(params, sizes, AREAS, use_q3de=False))
+
+    q3de, base = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for i, area in enumerate(AREAS):
+        row = [area]
+        for size in sizes:
+            row.append(q3de[size][i])
+            row.append(base[size][i])
+        rows.append(row)
+    header = ["area"] + [f"{arch} s={s}" for s in sizes
+                         for arch in ("Q3DE", "base")]
+    header = ["area"]
+    for s in sizes:
+        header += [f"Q3DE s={s}", f"base s={s}"]
+    print_table("Fig. 9 (left): required density ratio (None = >max)",
+                header, rows)
+
+    for size in sizes:
+        for q, b in zip(q3de[size], base[size]):
+            if q is not None and b is not None:
+                assert q <= b * 1.01
+
+
+@pytest.mark.benchmark(group="fig9")
+def bench_fig9_duration_panel(benchmark):
+    """Middle panel: baseline vs error-duration factor, Q3DE reference."""
+    params = _params()
+    factors = [1.0, 0.1, 0.01]
+
+    def run():
+        base = sweep_duration(params, factors, AREAS, use_q3de=False)
+        q3de = density_curve(params, AREAS, use_q3de=True)
+        return base, q3de
+
+    base, q3de = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for i, area in enumerate(AREAS):
+        rows.append([area, q3de[i]] + [base[f][i] for f in factors])
+    print_table(
+        "Fig. 9 (middle): required density ratio vs error duration",
+        ["area", "Q3DE"] + [f"base x{f}" for f in factors], rows)
+
+    # Shorter bursts shrink the baseline's requirement toward Q3DE's.
+    for i in range(len(AREAS)):
+        vals = [base[f][i] for f in factors if base[f][i] is not None]
+        assert vals == sorted(vals, reverse=True)
+
+
+@pytest.mark.benchmark(group="fig9")
+def bench_fig9_frequency_panel(benchmark):
+    """Right panel: both architectures vs anomaly-frequency factor."""
+    params = _params()
+    factors = [1.0, 0.1, 0.01]
+
+    def run():
+        return (sweep_frequency(params, factors, AREAS, use_q3de=True),
+                sweep_frequency(params, factors, AREAS, use_q3de=False))
+
+    q3de, base = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for i, area in enumerate(AREAS):
+        row = [area]
+        for f in factors:
+            row += [q3de[f][i], base[f][i]]
+        rows.append(row)
+    header = ["area"]
+    for f in factors:
+        header += [f"Q3DE x{f}", f"base x{f}"]
+    print_table(
+        "Fig. 9 (right): required density ratio vs anomaly frequency",
+        header, rows)
+
+    # Q3DE advantage shrinks as rays get rarer.
+    for f in factors:
+        for q, b in zip(q3de[f], base[f]):
+            if q is not None and b is not None:
+                assert q <= b * 1.01

@@ -1,0 +1,70 @@
+"""Fig. 10: instruction throughput under cosmic rays.
+
+Paper setup: 10^4 meas_ZZ instructions on random pairs of the 25 logical
+qubits of an 11x11 block plane; MBBEs strike each block with probability
+``d tau_cyc f_ano`` per d-cycle slot and last 100d or 1000d cycles.
+
+Expected shape: MBBE-free ~6 instructions per d cycles; the baseline
+(doubled default distance) sits at about half; Q3DE tracks MBBE-free at
+realistic ray frequencies (~1e-5) and degrades only as the frequency
+approaches 1e-2, with longer bursts hurting more.
+"""
+
+import pytest
+
+from repro.arch.throughput import simulate_throughput, throughput_sweep
+
+from _common import print_table, scale
+
+FREQUENCIES = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2]
+
+
+@pytest.mark.benchmark(group="fig10")
+def bench_fig10_throughput_sweep(benchmark):
+    """Regenerate all four Fig. 10 series."""
+    n_inst = max(200, int(1000 * scale()))
+
+    def run():
+        short = throughput_sweep(FREQUENCIES, duration_slots=100,
+                                 num_instructions=n_inst, seed=7)
+        long = throughput_sweep(FREQUENCIES, duration_slots=1000,
+                                num_instructions=n_inst, seed=7)
+        return short, long
+
+    short, long = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for i, freq in enumerate(FREQUENCIES):
+        rows.append([freq, short["mbbe_free"][i], short["baseline"][i],
+                     short["q3de"][i], long["q3de"][i]])
+    print_table(
+        "Fig. 10: instructions per d code cycles",
+        ["d*tau_cyc*f_ano", "MBBE free", "baseline",
+         "Q3DE tau/d=100", "Q3DE tau/d=1000"],
+        rows)
+
+    free = short["mbbe_free"][0]
+    base = short["baseline"][0]
+    # Baseline throughput is about half of MBBE-free.
+    assert base == pytest.approx(free / 2, rel=0.25)
+    # At realistic frequencies Q3DE matches MBBE-free within a few %.
+    assert short["q3de"][1] >= 0.9 * free
+    # Longer bursts are never better.
+    assert long["q3de"][-1] <= short["q3de"][-1] + 0.5
+    # Heavy rays degrade Q3DE below its calm-weather throughput.
+    assert short["q3de"][-1] <= short["q3de"][0]
+
+
+@pytest.mark.benchmark(group="fig10")
+def bench_fig10_single_run_timing(benchmark):
+    """Time one mid-frequency Q3DE run (the harness's hot path)."""
+    import numpy as np
+
+    result = benchmark.pedantic(
+        simulate_throughput,
+        args=("q3de",),
+        kwargs=dict(num_instructions=300, strike_prob_per_slot=1e-4,
+                    strike_duration_slots=100,
+                    rng=np.random.default_rng(3)),
+        rounds=3, iterations=1)
+    assert result.instructions == 300

@@ -1,0 +1,56 @@
+"""Table III: memory overheads of the Q3DE buffers.
+
+Paper setting: d = 31, p = 1e-3, c_win = 300.  Expected rows:
+syndrome queue ~623 kbit, active node counter ~16 kbit, matching queue
+~24 kbit; the syndrome queue is ~10x the MBBE-free baseline (2 d^3).
+"""
+
+import pytest
+
+from repro.arch.memory_overhead import MemoryOverheadModel
+
+from _common import print_table
+
+PAPER_KBIT = {
+    "syndrome_queue": 623.0,
+    "active_node_counter": 16.0,
+    "matching_queue": 24.0,
+}
+
+
+@pytest.mark.benchmark(group="table3")
+def bench_table3_memory_overheads(benchmark):
+    model = benchmark(MemoryOverheadModel, distance=31, c_win=300)
+
+    rows_kbit = model.rows_kbit()
+    rows = [[unit.replace("_", " "), f"{kbit:.1f}",
+             f"{PAPER_KBIT[unit]:.0f}"]
+            for unit, kbit in rows_kbit.items()]
+    rows.append(["(baseline 2d^3 queue)",
+                 f"{model.baseline_syndrome_queue_bits() / 1000:.1f}",
+                 "58"])
+    print_table("Table III: memory per logical qubit (d=31, c_win=300)",
+                ["unit", "measured kbit", "paper kbit"], rows)
+
+    for unit, kbit in rows_kbit.items():
+        assert kbit == pytest.approx(PAPER_KBIT[unit], rel=0.05)
+    assert model.overhead_ratio() == pytest.approx(10, rel=0.15)
+
+
+@pytest.mark.benchmark(group="table3")
+def bench_table3_live_buffers_agree(benchmark):
+    """The closed forms must match the actual buffer data structures."""
+    from repro.arch.buffers import (MatchingQueue, SyndromeQueue,
+                                    optimal_batch_cycles)
+
+    def build():
+        d, c_win = 31, 300
+        queue = SyndromeQueue((d - 1, d),
+                              c_win + optimal_batch_cycles(c_win))
+        mq = MatchingQueue(c_win)
+        return queue.memory_bits(), mq.memory_bits((d - 1) * d)
+
+    sq_bits, mq_bits = benchmark(build)
+    model = MemoryOverheadModel(31, 300)
+    assert sq_bits == pytest.approx(model.syndrome_queue_bits(), rel=0.05)
+    assert mq_bits == pytest.approx(model.matching_queue_bits(), rel=0.1)

@@ -1,0 +1,80 @@
+"""Table IV: greedy-decoder hardware cost and throughput.
+
+The paper synthesizes the QECOOL greedy decoder for a Zynq UltraScale+
+FPGA with and without the Q3DE weighted-matching extension.  Offline we
+substitute a calibrated structural cost model plus a software measurement
+of the same matching algorithm (see DESIGN.md "Substitutions").
+
+Expected shape: Q3DE costs ~40 % more LUTs at equal ANQ size with
+near-parity matching throughput, and both fit an embedded-class FPGA.
+"""
+
+import pytest
+
+from repro.hwmodel.pipeline import ANQPipelineModel, measure_software_throughput
+from repro.hwmodel.resources import (
+    DecoderHardwareModel,
+    lut_overhead_ratio,
+    paper_table4_rows,
+    required_anq_entries,
+)
+
+from _common import print_table
+
+CONFIGS = [(40, False), (40, True), (80, False), (80, True)]
+
+
+@pytest.mark.benchmark(group="table4")
+def bench_table4_resource_model(benchmark):
+    def build():
+        return [DecoderHardwareModel(e, q).table_row() for e, q in CONFIGS]
+
+    rows = benchmark(build)
+    paper = paper_table4_rows()
+    table = []
+    for ours, ref in zip(rows, paper):
+        table.append([ours["config"], ours["FF"], ref["FF"], ours["LUT"],
+                      ref["LUT"], ours["throughput"], ref["throughput"]])
+    print_table(
+        "Table IV: decoder hardware (model vs paper post-layout)",
+        ["config", "FF", "FF(paper)", "LUT", "LUT(paper)",
+         "match/us", "match/us(paper)"],
+        table)
+
+    for ours, ref in zip(rows, paper):
+        assert ours["FF"] == pytest.approx(ref["FF"], rel=0.05)
+        assert ours["LUT"] == pytest.approx(ref["LUT"], rel=0.05)
+        assert ours["throughput"] == pytest.approx(
+            ref["throughput"], rel=0.05)
+    assert 0.3 < lut_overhead_ratio(40) < 0.55
+
+
+@pytest.mark.benchmark(group="table4")
+def bench_table4_anq_sizing(benchmark):
+    """Sec. VIII-D entry-size criterion at the paper's two design points."""
+    def size():
+        return (required_anq_entries(1e-4, 15),
+                required_anq_entries(1e-3, 31))
+
+    small, large = benchmark(size)
+    print_table("ANQ entries for overflow < p_L = 1e-15",
+                ["design point", "entries", "paper"],
+                [["p=1e-4, d=15", small, "~30"],
+                 ["p=1e-3, d=31", large, "~70"]])
+    assert small < large
+
+
+@pytest.mark.benchmark(group="table4")
+def bench_table4_software_matching_throughput(benchmark):
+    """Host-side throughput of the same greedy matching algorithm."""
+    rate = benchmark.pedantic(
+        measure_software_throughput,
+        kwargs=dict(num_nodes=40, repeats=20), rounds=3, iterations=1)
+    pipeline = ANQPipelineModel(DecoderHardwareModel(40, False))
+    est = pipeline.drain(40)
+    print_table(
+        "Greedy matching throughput (software vs modelled hardware)",
+        ["implementation", "matches/s"],
+        [["software (this host)", f"{rate:.0f}"],
+         ["modelled FPGA @400 MHz", f"{est.matches_per_us * 1e6:.0f}"]])
+    assert rate > 0

@@ -1,0 +1,20 @@
+"""Analytic models: effective error rate (Eq. 1) and first-order
+code-distance analysis (Sec. VI-A, Eq. 4)."""
+
+from repro.analysis.effective_rate import (
+    effective_logical_error_rate,
+    mbbe_increase_ratio,
+)
+from repro.analysis.firstorder import (
+    min_normal_flips,
+    effective_distance_reduction,
+    predicted_reduction,
+)
+
+__all__ = [
+    "effective_logical_error_rate",
+    "mbbe_increase_ratio",
+    "min_normal_flips",
+    "effective_distance_reduction",
+    "predicted_reduction",
+]

@@ -1,0 +1,45 @@
+"""Effective logical error rate under MBBEs (paper Eq. 1, Sec. III-A).
+
+With strikes of frequency ``f_ano`` lasting ``tau_ano``, the time-average
+logical error rate per cycle is::
+
+    (1 - f_ano tau_ano) p_L + f_ano tau_ano p_L_ano
+
+and the *increase ratio* contributed by MBBEs is
+``f_ano tau_ano p_L_ano / p_L`` -- about 100x for the McEwen et al.
+parameters, which is the paper's motivating observation.
+"""
+
+from __future__ import annotations
+
+
+def effective_logical_error_rate(
+    p_l: float,
+    p_l_ano: float,
+    frequency_hz: float,
+    lifetime_s: float,
+) -> float:
+    """Eq. (1): duty-cycle average of normal and anomalous rates."""
+    _check_rates(p_l, p_l_ano)
+    duty = frequency_hz * lifetime_s
+    if not 0.0 <= duty <= 1.0:
+        raise ValueError("f_ano * tau_ano must be a fraction of time")
+    return (1.0 - duty) * p_l + duty * p_l_ano
+
+
+def mbbe_increase_ratio(
+    p_l: float,
+    p_l_ano: float,
+    frequency_hz: float,
+    lifetime_s: float,
+) -> float:
+    """The MBBE contribution relative to the burst-free rate."""
+    _check_rates(p_l, p_l_ano)
+    if p_l == 0.0:
+        raise ValueError("p_l must be positive for a ratio")
+    return frequency_hz * lifetime_s * p_l_ano / p_l
+
+
+def _check_rates(p_l: float, p_l_ano: float) -> None:
+    if not 0.0 <= p_l <= 1.0 or not 0.0 <= p_l_ano <= 1.0:
+        raise ValueError("logical error rates must be probabilities")

@@ -1,0 +1,31 @@
+"""FTQC architecture layer: ISA, control-unit buffers, plane, scheduler.
+
+This subpackage models the classical half of Fig. 1: the instruction
+queue and decoder/scheduler, the stabilizer assignment unit and qubit
+plane, the Pauli frame and classical register, and the rollback-capable
+buffers (syndrome queue, matching queue, instruction history buffer)
+added by Q3DE.
+"""
+
+from repro.arch.isa import Instruction, InstructionKind, InstructionQueue
+from repro.arch.pauli_frame import PauliFrame, ClassicalRegister
+from repro.arch.buffers import SyndromeQueue, MatchingQueue, InstructionHistoryBuffer
+from repro.arch.qubit_plane import QubitPlane, Block, BlockState
+from repro.arch.scheduler import GreedyScheduler
+from repro.arch.memory_overhead import MemoryOverheadModel
+
+__all__ = [
+    "Instruction",
+    "InstructionKind",
+    "InstructionQueue",
+    "PauliFrame",
+    "ClassicalRegister",
+    "SyndromeQueue",
+    "MatchingQueue",
+    "InstructionHistoryBuffer",
+    "QubitPlane",
+    "Block",
+    "BlockState",
+    "GreedyScheduler",
+    "MemoryOverheadModel",
+]

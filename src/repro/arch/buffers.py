@@ -1,0 +1,207 @@
+"""Rollback-capable control-unit buffers (paper Sec. VI-C, Table III).
+
+* :class:`SyndromeQueue` -- keeps the last ``c_win + c_bat`` syndrome
+  layers *even after they are matched*, so the decoder can be rolled back
+  and re-executed without snapshots.
+* :class:`MatchingQueue` -- the decoder's output journal, aggregated in
+  batches of ``c_bat`` cycles; the paper shows ``c_bat = sqrt(2 c_win)``
+  minimizes total buffer memory.
+* :class:`InstructionHistoryBuffer` -- records Pauli-frame-affecting
+  instruction commits so frame updates can be replayed after a rollback.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+def optimal_batch_cycles(c_win: int) -> int:
+    """The memory-minimizing matching-queue batch size sqrt(2 c_win)."""
+    if c_win < 1:
+        raise ValueError("window must be positive")
+    return max(1, round(math.sqrt(2.0 * c_win)))
+
+
+@dataclass(frozen=True)
+class SyndromeLayerRecord:
+    """One retained syndrome layer plus its decode status."""
+
+    cycle: int
+    layer: np.ndarray
+    matched: bool = False
+
+
+class SyndromeQueue:
+    """FIFO of recent syndrome layers with rollback retention.
+
+    Without Q3DE the queue may discard a layer as soon as its active nodes
+    are matched; with Q3DE it must retain ``window`` layers regardless, so
+    that decoding can restart from any retained cycle.
+    """
+
+    def __init__(self, shape: tuple[int, int], window: int):
+        if window < 1:
+            raise ValueError("window must hold at least one layer")
+        self.shape = shape
+        self.window = window
+        self._layers: deque[SyndromeLayerRecord] = deque()
+
+    def push(self, cycle: int, layer: np.ndarray) -> None:
+        layer = np.asarray(layer, dtype=np.uint8)
+        if layer.shape != self.shape:
+            raise ValueError("layer shape mismatch")
+        if self._layers and cycle != self._layers[-1].cycle + 1:
+            raise ValueError("layers must be pushed in cycle order")
+        self._layers.append(SyndromeLayerRecord(cycle, layer))
+        while len(self._layers) > self.window:
+            self._layers.popleft()
+
+    def mark_matched(self, cycle: int) -> None:
+        """Flag a layer as fully matched (it is still retained)."""
+        for i, rec in enumerate(self._layers):
+            if rec.cycle == cycle:
+                self._layers[i] = SyndromeLayerRecord(
+                    rec.cycle, rec.layer, True)
+                return
+        raise KeyError(f"cycle {cycle} not retained")
+
+    def layers_since(self, cycle: int) -> list[SyndromeLayerRecord]:
+        """All retained layers with cycle >= the given cycle."""
+        return [rec for rec in self._layers if rec.cycle >= cycle]
+
+    def oldest_cycle(self) -> Optional[int]:
+        return self._layers[0].cycle if self._layers else None
+
+    def latest_cycle(self) -> Optional[int]:
+        return self._layers[-1].cycle if self._layers else None
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def memory_bits(self) -> int:
+        """Table III row 1: ``2 d^2 (c_win + sqrt(2 c_win))`` bits.
+
+        One bit per node per retained layer, both lattices; the window
+        already includes the extra ``c_bat`` layers."""
+        return 2 * int(np.prod(self.shape)) * self.window
+
+
+@dataclass(frozen=True)
+class MatchRecord:
+    """A decoder output: correction parity contributions for one cycle."""
+
+    cycle: int
+    cut_parity: int  # north-cut crossings mod 2 attributed to this cycle
+    num_matches: int
+
+
+@dataclass
+class MatchBatch:
+    """``c_bat`` cycles of matching results, summed (Sec. VI-C)."""
+
+    start_cycle: int
+    cut_parity: int = 0
+    num_matches: int = 0
+    closed: bool = False
+
+
+class MatchingQueue:
+    """Batched journal of decoder outputs.
+
+    The full per-cycle record would dominate buffer memory; summing each
+    ``c_bat``-cycle batch (plus boundary-pair bookkeeping, represented by
+    the per-batch parity) cuts it by ``c_bat`` at the cost of re-decoding
+    a whole batch on rollback.
+    """
+
+    def __init__(self, c_win: int, c_bat: Optional[int] = None):
+        self.c_win = c_win
+        self.c_bat = c_bat if c_bat is not None else optimal_batch_cycles(c_win)
+        if self.c_bat < 1:
+            raise ValueError("batch size must be positive")
+        self._batches: deque[MatchBatch] = deque()
+
+    def record(self, match: MatchRecord) -> None:
+        """Append one cycle's matching summary."""
+        if not self._batches or self._batches[-1].closed:
+            self._batches.append(MatchBatch(start_cycle=match.cycle))
+        batch = self._batches[-1]
+        batch.cut_parity ^= match.cut_parity
+        batch.num_matches += match.num_matches
+        if match.cycle - batch.start_cycle + 1 >= self.c_bat:
+            batch.closed = True
+        max_batches = math.ceil(self.c_win / self.c_bat) + 1
+        while len(self._batches) > max_batches:
+            self._batches.popleft()
+
+    def rollback_to(self, cycle: int) -> list[MatchBatch]:
+        """Drop every batch touching cycles >= ``cycle``.
+
+        Returns the dropped batches (whole batches are re-decoded, which
+        is why the rollback granularity is ``c_bat``).
+        """
+        dropped: list[MatchBatch] = []
+        while self._batches:
+            last = self._batches[-1]
+            end = last.start_cycle + self.c_bat - 1
+            if end >= cycle:
+                dropped.append(self._batches.pop())
+            else:
+                break
+        dropped.reverse()
+        return dropped
+
+    def total_cut_parity(self) -> int:
+        """Accumulated north-cut parity over all retained batches."""
+        parity = 0
+        for batch in self._batches:
+            parity ^= batch.cut_parity
+        return parity
+
+    def __len__(self) -> int:
+        return len(self._batches)
+
+    def memory_bits(self, node_count: int) -> int:
+        """Table III row 3: ``2 d^2 sqrt(c_win / 2)`` bits.
+
+        One bit per node per retained batch, both lattices; the number of
+        retained batches is ``c_win / c_bat = sqrt(c_win / 2)``."""
+        batches = math.ceil(self.c_win / self.c_bat)
+        return 2 * node_count * batches
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """An instruction commit that touched the Pauli frame."""
+
+    cycle: int
+    instruction_uid: int
+    qubit: int
+    swapped_xz: bool  # e.g. op_H exchanges the frame's X and Z bits
+
+
+class InstructionHistoryBuffer:
+    """Journal of frame-affecting instruction commits (Fig. 1).
+
+    Needed because the Pauli frame is updated both by the decoder and by
+    logical instructions; on rollback the instruction-driven updates must
+    be replayed in order.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._entries: deque[HistoryEntry] = deque(maxlen=capacity)
+
+    def record(self, entry: HistoryEntry) -> None:
+        self._entries.append(entry)
+
+    def entries_since(self, cycle: int) -> list[HistoryEntry]:
+        return [e for e in self._entries if e.cycle >= cycle]
+
+    def __len__(self) -> int:
+        return len(self._entries)

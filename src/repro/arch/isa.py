@@ -1,0 +1,145 @@
+"""The succinct FTQC instruction set (paper Table II).
+
+``op_expand`` is the Q3DE-original instruction: it asks the stabilizer
+assignment unit to grow a logical qubit's code distance and keep it grown
+for the expected MBBE lifetime.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+class InstructionKind(enum.Enum):
+    """Table II of the paper."""
+
+    INIT_ZERO = "init_zero"   # initialize a logical qubit in |0>
+    INIT_A = "init_A"         # initialize a noisy |A> magic state
+    INIT_Y = "init_Y"         # initialize a noisy |Y> state
+    OP_H = "op_H"             # logical Hadamard
+    MEAS_Z = "meas_Z"         # logical Z measurement
+    MEAS_ZZ = "meas_ZZ"       # joint ZZ measurement (lattice surgery)
+    READ = "read"             # ship an error-corrected outcome to the host
+    OP_EXPAND = "op_expand"   # Q3DE: temporally expand a code distance
+
+
+#: Kinds that produce a logical measurement outcome.
+MEASUREMENT_KINDS = frozenset(
+    {InstructionKind.MEAS_Z, InstructionKind.MEAS_ZZ})
+
+#: Kinds that occupy qubit-plane space while executing.
+PLANE_KINDS = frozenset(
+    set(InstructionKind) - {InstructionKind.READ})
+
+_ids = itertools.count()
+
+
+@dataclass
+class Instruction:
+    """One FTQC instruction.
+
+    Attributes:
+        kind: the opcode.
+        targets: logical-qubit ids the instruction acts on (empty for
+            ``read``).
+        register: classical-register index (measurements write it, ``read``
+            reads it).
+        uid: unique program-order id (assigned automatically).
+    """
+
+    kind: InstructionKind
+    targets: tuple[int, ...] = ()
+    register: Optional[int] = None
+    uid: int = field(default_factory=lambda: next(_ids))
+
+    def __post_init__(self) -> None:
+        arity = {
+            InstructionKind.INIT_ZERO: 1,
+            InstructionKind.INIT_A: 1,
+            InstructionKind.INIT_Y: 1,
+            InstructionKind.OP_H: 1,
+            InstructionKind.MEAS_Z: 1,
+            InstructionKind.MEAS_ZZ: 2,
+            InstructionKind.READ: 0,
+            InstructionKind.OP_EXPAND: 1,
+        }[self.kind]
+        if len(self.targets) != arity:
+            raise ValueError(
+                f"{self.kind.value} takes {arity} target(s), "
+                f"got {len(self.targets)}")
+        if self.kind in MEASUREMENT_KINDS and self.register is None:
+            raise ValueError(f"{self.kind.value} needs a register")
+        if self.kind is InstructionKind.READ and self.register is None:
+            raise ValueError("read needs a register")
+
+    @property
+    def is_measurement(self) -> bool:
+        return self.kind in MEASUREMENT_KINDS
+
+    def latency_cycles(self, distance: int) -> int:
+        """Execution latency; most instructions take d code cycles."""
+        if self.kind is InstructionKind.READ:
+            return 0
+        return distance
+
+    def conflicts_with(self, other: "Instruction") -> bool:
+        """Conservative commutation test for out-of-order commit.
+
+        Two instructions may be reordered when they act on disjoint
+        logical qubits (and neither is a ``read``, which orders against
+        the classical register instead of the plane).
+        """
+        if self.kind is InstructionKind.READ or other.kind is InstructionKind.READ:
+            return (self.register is not None
+                    and self.register == other.register)
+        return bool(set(self.targets) & set(other.targets))
+
+
+class InstructionQueue:
+    """FIFO instruction queue with commit-when-ready semantics (Sec. II-B).
+
+    Instructions commit in order unless an earlier, still-waiting
+    instruction commutes with them (disjoint targets), in which case they
+    may be issued out of order -- the behaviour the greedy scheduler
+    exploits.
+    """
+
+    def __init__(self, instructions: Iterable[Instruction] = ()):
+        self._queue: deque[Instruction] = deque(instructions)
+
+    def push(self, instruction: Instruction) -> None:
+        self._queue.append(instruction)
+
+    def push_front(self, instruction: Instruction) -> None:
+        """Priority insert, used for adaptive ``op_expand`` injection."""
+        self._queue.appendleft(instruction)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self):
+        return iter(self._queue)
+
+    def ready_candidates(self, limit: Optional[int] = None) -> list[Instruction]:
+        """Instructions eligible to commit now, in priority order.
+
+        An instruction is a candidate if it conflicts with no earlier
+        queued instruction (the earlier ones are still waiting, so a
+        conflicting later one must wait too).
+        """
+        candidates: list[Instruction] = []
+        for idx, inst in enumerate(self._queue):
+            if limit is not None and idx >= limit:
+                break
+            if any(inst.conflicts_with(earlier)
+                   for earlier in itertools.islice(self._queue, idx)):
+                continue
+            candidates.append(inst)
+        return candidates
+
+    def remove(self, instruction: Instruction) -> None:
+        self._queue.remove(instruction)

@@ -1,0 +1,64 @@
+"""Memory-overhead model for the Q3DE buffers (paper Table III).
+
+Closed-form sizes per logical qubit, both syndrome lattices counted
+(the ``2 d^2`` prefactor):
+
+* syndrome queue:        ``2 d^2 (c_win + sqrt(2 c_win))`` bits
+* active node counter:   ``2 d^2 log2(c_win)`` bits
+* matching queue:        ``2 d^2 sqrt(c_win / 2)`` bits
+* instruction history buffer / expansion queue: negligible
+
+The MBBE-free baseline retains only ``d`` layers: ``2 d^3`` bits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryOverheadModel:
+    """Evaluates Table III for a given ``d`` and ``c_win``."""
+
+    distance: int
+    c_win: int
+
+    def __post_init__(self) -> None:
+        if self.distance < 2 or self.c_win < 1:
+            raise ValueError("need distance >= 2 and c_win >= 1")
+
+    @property
+    def _area(self) -> float:
+        return 2.0 * self.distance ** 2
+
+    def syndrome_queue_bits(self) -> float:
+        return self._area * (self.c_win + math.sqrt(2.0 * self.c_win))
+
+    def active_node_counter_bits(self) -> float:
+        return self._area * math.log2(self.c_win)
+
+    def matching_queue_bits(self) -> float:
+        return self._area * math.sqrt(self.c_win / 2.0)
+
+    def baseline_syndrome_queue_bits(self) -> float:
+        """The MBBE-free queue: ``d`` layers, ``2 d^3`` bits."""
+        return 2.0 * self.distance ** 3
+
+    def total_bits(self) -> float:
+        return (self.syndrome_queue_bits()
+                + self.active_node_counter_bits()
+                + self.matching_queue_bits())
+
+    def overhead_ratio(self) -> float:
+        """Q3DE syndrome queue vs the MBBE-free queue (about 10x in the
+        paper's d=31, c_win=300 setting)."""
+        return self.syndrome_queue_bits() / self.baseline_syndrome_queue_bits()
+
+    def rows_kbit(self) -> dict[str, float]:
+        """Table III's Size column, in kbit."""
+        return {
+            "syndrome_queue": self.syndrome_queue_bits() / 1000.0,
+            "active_node_counter": self.active_node_counter_bits() / 1000.0,
+            "matching_queue": self.matching_queue_bits() / 1000.0,
+        }

@@ -1,0 +1,143 @@
+"""Pauli frame and classical register with reversible updates (Sec. VI-C).
+
+Every update to the Pauli frame is journaled so the rollback controller
+can revert the frame to its state at any retained cycle; classical
+register entries carry the "error-corrected" mark and a read flag so the
+controller can detect when a rollback would have to rewind the host CPU
+(which aborts the rollback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class FrameUpdate:
+    """One journaled Pauli-frame update (all updates are involutions)."""
+
+    cycle: int
+    qubit: int
+    flip_x: bool
+    flip_z: bool
+
+
+class PauliFrame:
+    """Per-logical-qubit X/Z correction parities with an undo journal."""
+
+    def __init__(self, num_qubits: int):
+        if num_qubits < 1:
+            raise ValueError("need at least one logical qubit")
+        self.num_qubits = num_qubits
+        self.x = [0] * num_qubits
+        self.z = [0] * num_qubits
+        self._journal: list[FrameUpdate] = []
+
+    def apply(self, cycle: int, qubit: int,
+              flip_x: bool = False, flip_z: bool = False) -> None:
+        """Record a correction (XOR into the frame) at a given cycle."""
+        if not 0 <= qubit < self.num_qubits:
+            raise ValueError("qubit out of range")
+        if not (flip_x or flip_z):
+            return
+        if flip_x:
+            self.x[qubit] ^= 1
+        if flip_z:
+            self.z[qubit] ^= 1
+        self._journal.append(FrameUpdate(cycle, qubit, flip_x, flip_z))
+
+    def rollback_to(self, cycle: int) -> list[FrameUpdate]:
+        """Undo every update recorded at or after ``cycle``.
+
+        Returns the undone updates, oldest first (the re-executed decoding
+        pass will regenerate its own).
+        """
+        undone: list[FrameUpdate] = []
+        while self._journal and self._journal[-1].cycle >= cycle:
+            upd = self._journal.pop()
+            if upd.flip_x:
+                self.x[upd.qubit] ^= 1
+            if upd.flip_z:
+                self.z[upd.qubit] ^= 1
+            undone.append(upd)
+        undone.reverse()
+        return undone
+
+    def trim_journal(self, before_cycle: int) -> int:
+        """Drop journal entries older than ``before_cycle`` (no longer
+        needed once rollback past them is impossible).  Returns the number
+        dropped."""
+        kept = [u for u in self._journal if u.cycle >= before_cycle]
+        dropped = len(self._journal) - len(kept)
+        self._journal = kept
+        return dropped
+
+    @property
+    def journal_length(self) -> int:
+        return len(self._journal)
+
+
+@dataclass
+class RegisterEntry:
+    """One classical-register slot for a logical measurement outcome."""
+
+    raw_value: int
+    measured_cycle: int
+    corrected: bool = False
+    corrected_cycle: Optional[int] = None
+    correction: int = 0
+    read_by_host: bool = False
+
+    @property
+    def value(self) -> int:
+        """The outcome as currently best known (raw XOR correction)."""
+        return self.raw_value ^ self.correction
+
+
+class ClassicalRegister:
+    """The classical register of Fig. 1, with error-corrected marks."""
+
+    def __init__(self):
+        self._entries: dict[int, RegisterEntry] = {}
+
+    def write_raw(self, index: int, value: int, cycle: int) -> None:
+        """Store a not-yet-corrected measurement outcome."""
+        self._entries[index] = RegisterEntry(
+            raw_value=value & 1, measured_cycle=cycle)
+
+    def mark_corrected(self, index: int, correction: int, cycle: int) -> None:
+        """Apply the Pauli-frame correction once decoding catches up."""
+        entry = self._entries[index]
+        entry.correction = correction & 1
+        entry.corrected = True
+        entry.corrected_cycle = cycle
+
+    def read(self, index: int) -> Optional[int]:
+        """Host-CPU read: only error-corrected entries are served."""
+        entry = self._entries.get(index)
+        if entry is None or not entry.corrected:
+            return None
+        entry.read_by_host = True
+        return entry.value
+
+    def entry(self, index: int) -> Optional[RegisterEntry]:
+        return self._entries.get(index)
+
+    def entries_corrected_after(self, cycle: int) -> list[int]:
+        """Indices whose correction happened at or after ``cycle``."""
+        return [i for i, e in self._entries.items()
+                if e.corrected and e.corrected_cycle is not None
+                and e.corrected_cycle >= cycle]
+
+    def any_read_corrected_after(self, cycle: int) -> bool:
+        """True iff the host already consumed a value we'd need to revoke."""
+        return any(self._entries[i].read_by_host
+                   for i in self.entries_corrected_after(cycle))
+
+    def uncorrect(self, index: int) -> None:
+        """Rollback: mark an entry not-error-corrected again."""
+        entry = self._entries[index]
+        entry.corrected = False
+        entry.corrected_cycle = None
+        entry.correction = 0

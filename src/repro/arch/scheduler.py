@@ -1,0 +1,134 @@
+"""Greedy lattice-surgery scheduler (paper Sec. VIII-B).
+
+Each scheduling slot (``d`` code cycles), the scheduler walks the
+instruction queue in order and commits every instruction whose operands
+are free and, for ``meas_ZZ``, for which a path of routable vacant blocks
+connects the two logical qubits.  Instructions on expanded qubits take
+twice as long (their distance is doubled); so do *all* instructions under
+the baseline architecture, whose default code distance is doubled.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.arch.isa import Instruction, InstructionKind
+from repro.arch.qubit_plane import QubitPlane
+
+
+@dataclass
+class CommittedOp:
+    """An instruction currently executing on the plane."""
+
+    instruction: Instruction
+    cells: list[tuple[int, int]]
+    finish_slot: int
+
+
+@dataclass
+class GreedyScheduler:
+    """Routes and commits instructions on a :class:`QubitPlane`.
+
+    Args:
+        plane: the qubit plane.
+        base_latency_slots: latency of a normal op in slots (1 slot = d
+            code cycles).
+        lookahead: how deep into the queue out-of-order commit may reach.
+    """
+
+    plane: QubitPlane
+    base_latency_slots: int = 1
+    lookahead: int = 64
+    executing: list[CommittedOp] = field(default_factory=list)
+    completed: int = 0
+
+    # ------------------------------------------------------------------
+    def _route(self, a: tuple[int, int], b: tuple[int, int],
+               slot: int) -> Optional[list[tuple[int, int]]]:
+        """BFS over routable vacant blocks from qubit block a to b."""
+        start_adj = [n for n in self.plane.neighbors(*a)
+                     if self.plane.routable(*n, slot)]
+        goal_adj = {n for n in self.plane.neighbors(*b)
+                    if self.plane.routable(*n, slot)}
+        if not start_adj or not goal_adj:
+            return None
+        queue = deque(start_adj)
+        parents: dict[tuple[int, int], Optional[tuple[int, int]]] = {
+            n: None for n in start_adj}
+        while queue:
+            cell = queue.popleft()
+            if cell in goal_adj:
+                path = [cell]
+                while parents[path[-1]] is not None:
+                    path.append(parents[path[-1]])
+                return path
+            for nxt in self.plane.neighbors(*cell):
+                if nxt in parents or not self.plane.routable(*nxt, slot):
+                    continue
+                parents[nxt] = cell
+                queue.append(nxt)
+        return None
+
+    def _latency_slots(self, inst: Instruction) -> int:
+        """Expanded operands double the instruction latency."""
+        factor = 1
+        for q in inst.targets:
+            if self.plane.is_expanded(q):
+                factor = 2
+        return self.base_latency_slots * factor
+
+    # ------------------------------------------------------------------
+    def try_commit(self, inst: Instruction, slot: int) -> bool:
+        """Attempt to commit one instruction this slot."""
+        targets = inst.targets
+        if any(not self.plane.qubit_free(q, slot) for q in targets):
+            return False
+        cells: list[tuple[int, int]] = [
+            self.plane.logical_positions[q] for q in targets]
+        for q in targets:
+            cells.extend(self.plane.expansions.get(q, []))
+        if inst.kind is InstructionKind.MEAS_ZZ:
+            a = self.plane.logical_positions[targets[0]]
+            b = self.plane.logical_positions[targets[1]]
+            path = self._route(a, b, slot)
+            if path is None:
+                return False
+            cells.extend(path)
+        finish = slot + self._latency_slots(inst)
+        self.plane.reserve(cells, finish)
+        self.executing.append(CommittedOp(inst, cells, finish))
+        return True
+
+    def step(self, queue: deque, slot: int) -> int:
+        """One scheduling slot: retire finished ops, commit ready ones.
+
+        ``queue`` is a deque of pending instructions (program order).
+        Returns the number of instructions that finished this slot.
+        """
+        finished = [op for op in self.executing if op.finish_slot <= slot]
+        self.executing = [op for op in self.executing
+                          if op.finish_slot > slot]
+        self.completed += len(finished)
+
+        committed: list[Instruction] = []
+        busy_targets: set[int] = set()
+        for op in self.executing:
+            busy_targets.update(op.instruction.targets)
+        for idx, inst in enumerate(queue):
+            if idx >= self.lookahead:
+                break
+            if set(inst.targets) & busy_targets:
+                continue
+            if self.try_commit(inst, slot):
+                committed.append(inst)
+                busy_targets.update(inst.targets)
+            else:
+                # Keep program order among conflicting instructions: a
+                # later instruction may only jump ahead if it commutes
+                # (disjoint targets) with everything still waiting.
+                busy_targets.update(inst.targets)
+        for inst in committed:
+            queue.remove(inst)
+        return len(finished)

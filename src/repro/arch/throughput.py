@@ -1,0 +1,156 @@
+"""Instruction-throughput simulation (paper Fig. 10, Sec. VIII-B).
+
+Replays a stream of ``meas_ZZ`` instructions on randomly chosen logical-
+qubit pairs over an 11 x 11 block plane (25 logical qubits) under three
+architectures:
+
+* ``mbbe_free`` -- no cosmic rays; ops take 1 slot (d code cycles);
+* ``baseline``  -- default code distance doubled: immune to MBBEs but
+  every op takes 2 slots;
+* ``q3de``      -- ops take 1 slot; cosmic rays strike each block with
+  probability ``d tau_cyc f_ano`` per slot and last ``tau_ano / (d
+  tau_cyc)`` slots; struck vacant blocks are avoided, struck logical
+  qubits expand to 2x2 blocks (their ops take 2 slots meanwhile).
+
+Throughput is reported as completed instructions per slot, i.e. per ``d``
+code cycles, matching the paper's y-axis.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.arch.isa import Instruction, InstructionKind
+from repro.arch.qubit_plane import BlockState, QubitPlane
+from repro.arch.scheduler import GreedyScheduler
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Outcome of one throughput run."""
+
+    architecture: str
+    instructions: int
+    slots: int
+    strikes: int
+
+    @property
+    def throughput(self) -> float:
+        """Completed instructions per d code cycles."""
+        return self.instructions / max(1, self.slots)
+
+
+def random_meas_zz_stream(num_instructions: int, num_qubits: int,
+                          rng: np.random.Generator) -> deque:
+    """The paper's workload: meas_ZZ on random distinct qubit pairs."""
+    queue: deque = deque()
+    for i in range(num_instructions):
+        a, b = rng.choice(num_qubits, size=2, replace=False)
+        queue.append(Instruction(
+            InstructionKind.MEAS_ZZ, (int(a), int(b)), register=i))
+    return queue
+
+
+def simulate_throughput(
+    architecture: str,
+    num_instructions: int = 1000,
+    strike_prob_per_slot: float = 0.0,
+    strike_duration_slots: int = 100,
+    rows: int = 11,
+    cols: int = 11,
+    rng: Optional[np.random.Generator] = None,
+    max_slots: int = 100_000,
+) -> ThroughputResult:
+    """Run one architecture over the random meas_ZZ workload.
+
+    Args:
+        architecture: ``"mbbe_free"``, ``"baseline"`` or ``"q3de"``.
+        strike_prob_per_slot: per-block MBBE probability per slot,
+            the paper's x-axis ``d tau_cyc f_ano``.
+        strike_duration_slots: anomaly lifetime in slots,
+            the paper's ``tau_ano / (d tau_cyc)``.
+    """
+    if architecture not in ("mbbe_free", "baseline", "q3de"):
+        raise ValueError(f"unknown architecture {architecture!r}")
+    rng = rng if rng is not None else np.random.default_rng()
+    plane = QubitPlane(rows, cols)
+    latency = 2 if architecture == "baseline" else 1
+    scheduler = GreedyScheduler(plane, base_latency_slots=latency)
+    queue = random_meas_zz_stream(num_instructions, plane.num_logical, rng)
+
+    strikes = 0
+    with_mbbes = architecture == "q3de" and strike_prob_per_slot > 0.0
+    expansion_deadline: dict[int, int] = {}
+    slot = 0
+    while (queue or scheduler.executing) and slot < max_slots:
+        if with_mbbes:
+            strikes += _inject_strikes(
+                plane, expansion_deadline, slot, strike_prob_per_slot,
+                strike_duration_slots, rng)
+            _expire_expansions(plane, expansion_deadline, slot)
+            plane.expire_anomalies(slot)
+        scheduler.step(queue, slot)
+        slot += 1
+    # Drain bookkeeping: count everything that finished.
+    return ThroughputResult(
+        architecture=architecture,
+        instructions=scheduler.completed,
+        slots=slot,
+        strikes=strikes,
+    )
+
+
+def _inject_strikes(plane: QubitPlane, expansion_deadline: dict[int, int],
+                    slot: int, prob: float, duration: int,
+                    rng: np.random.Generator) -> int:
+    """Sample per-block strikes for one slot; expand struck logical qubits."""
+    hits = rng.random((plane.rows, plane.cols)) < prob
+    count = 0
+    for r, c in np.argwhere(hits):
+        count += 1
+        blk = plane.strike(int(r), int(c), slot + duration)
+        if blk.state is BlockState.LOGICAL and blk.logical_id is not None:
+            qubit = blk.logical_id
+            if plane.expand_logical(qubit, slot):
+                expansion_deadline[qubit] = max(
+                    expansion_deadline.get(qubit, 0), slot + duration)
+        elif blk.state is BlockState.EXPANSION and blk.logical_id is not None:
+            expansion_deadline[blk.logical_id] = max(
+                expansion_deadline.get(blk.logical_id, 0), slot + duration)
+    return count
+
+
+def _expire_expansions(plane: QubitPlane, expansion_deadline: dict[int, int],
+                       slot: int) -> None:
+    for qubit in [q for q, until in expansion_deadline.items()
+                  if until <= slot]:
+        plane.shrink_logical(qubit)
+        del expansion_deadline[qubit]
+
+
+def throughput_sweep(
+    frequencies: list[float],
+    duration_slots: int,
+    num_instructions: int = 1000,
+    seed: int = 7,
+) -> dict[str, list[float]]:
+    """Fig. 10's series: throughput vs strike frequency per architecture."""
+    out: dict[str, list[float]] = {"mbbe_free": [], "baseline": [], "q3de": []}
+    for idx, freq in enumerate(frequencies):
+        rng = np.random.default_rng(seed + idx)
+        out["q3de"].append(simulate_throughput(
+            "q3de", num_instructions, freq, duration_slots,
+            rng=rng).throughput)
+    rng = np.random.default_rng(seed)
+    free = simulate_throughput(
+        "mbbe_free", num_instructions, rng=rng).throughput
+    rng = np.random.default_rng(seed)
+    base = simulate_throughput(
+        "baseline", num_instructions, rng=rng).throughput
+    out["mbbe_free"] = [free] * len(frequencies)
+    out["baseline"] = [base] * len(frequencies)
+    return out

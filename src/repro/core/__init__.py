@@ -1,0 +1,40 @@
+"""The Q3DE core: anomaly DEtection, code DEformation, error DEcoding.
+
+* :mod:`repro.core.statistics` -- CLT modeling of syndrome activity
+  (paper Sec. IV-A, Eqs. 2-3).
+* :mod:`repro.core.anomaly` -- the ``anomaly detection unit``:
+  sliding-window active-node counters, thresholds, position estimation.
+* :mod:`repro.core.expansion` -- the temporal code-expansion controller
+  driving ``op_expand`` (Sec. V).
+* :mod:`repro.core.reexecution` -- rollback buffers and decoder
+  re-execution (Sec. VI-C).
+* :mod:`repro.core.architecture` -- the Q3DE control unit wiring the
+  three together over a cycle-level simulation.
+"""
+
+from repro.core.statistics import (
+    SyndromeStatistics,
+    detection_threshold,
+    recommended_count_threshold,
+)
+from repro.core.anomaly import AnomalyDetectionUnit, DetectionEvent
+from repro.core.expansion import ExpansionController, ExpansionRequest
+from repro.core.reexecution import RollbackController, RollbackDenied
+from repro.core.architecture import Q3DEControlUnit, Q3DEConfig
+from repro.core.policy import ReactionPolicy, ReactionPolicyEngine
+
+__all__ = [
+    "SyndromeStatistics",
+    "detection_threshold",
+    "recommended_count_threshold",
+    "AnomalyDetectionUnit",
+    "DetectionEvent",
+    "ExpansionController",
+    "ExpansionRequest",
+    "RollbackController",
+    "RollbackDenied",
+    "Q3DEControlUnit",
+    "Q3DEConfig",
+    "ReactionPolicy",
+    "ReactionPolicyEngine",
+]

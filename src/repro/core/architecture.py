@@ -1,0 +1,159 @@
+"""The Q3DE control unit: detection -> expansion + re-execution.
+
+:class:`Q3DEControlUnit` wires the red-dotted-square components of Fig. 1
+around a single logical qubit's syndrome stream.  Each code cycle the
+unit:
+
+1. pushes the incoming syndrome layer into the (rollback-retaining)
+   syndrome queue and the anomaly detection unit's counters;
+2. on a detection, estimates the anomalous region (median position, one
+   window back in time), queues ``op_expand`` with the MBBE lifetime, and
+   rolls the decoding state back for anomaly-aware re-execution;
+3. ticks the expansion controller so expirations shrink the code back.
+
+The unit is deliberately event-level: Monte-Carlo logical-error studies
+live in :mod:`repro.sim`, throughput studies in :mod:`repro.arch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.arch.buffers import (
+    MatchingQueue,
+    MatchRecord,
+    SyndromeQueue,
+    optimal_batch_cycles,
+)
+from repro.arch.pauli_frame import ClassicalRegister, PauliFrame
+from repro.core.anomaly import AnomalyDetectionUnit, DetectionEvent
+from repro.core.expansion import ExpansionController
+from repro.core.reexecution import (
+    RollbackController,
+    RollbackDenied,
+    RollbackOutcome,
+)
+from repro.core.statistics import SyndromeStatistics
+from repro.noise.models import AnomalousRegion
+
+
+@dataclass(frozen=True)
+class Q3DEConfig:
+    """Tunable parameters of the control unit."""
+
+    distance: int
+    c_win: int = 300
+    n_th: int = 20
+    alpha: float = 0.01
+    anomaly_size: int = 4
+    anomaly_lifetime_cycles: int = 25_000
+    expanded_distance: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.distance < 2:
+            raise ValueError("distance must be >= 2")
+        if self.c_win < 1:
+            raise ValueError("c_win must be positive")
+
+
+@dataclass
+class CycleReport:
+    """What happened during one control-unit cycle."""
+
+    cycle: int
+    detection: Optional[DetectionEvent] = None
+    rollback: Optional[RollbackOutcome] = None
+    rollback_denied: bool = False
+    distance_changes: list[int] = field(default_factory=list)
+
+
+class Q3DEControlUnit:
+    """Cycle-level orchestration of detection, expansion, re-execution."""
+
+    def __init__(self, config: Q3DEConfig, stats: SyndromeStatistics,
+                 qubit: int = 0):
+        self.config = config
+        self.qubit = qubit
+        d = config.distance
+        shape = (d - 1, d)
+        self.detector = AnomalyDetectionUnit(
+            shape, stats, config.c_win, config.n_th, config.alpha,
+            mask_cycles=config.anomaly_lifetime_cycles)
+        window = config.c_win + optimal_batch_cycles(config.c_win)
+        self.syndrome_queue = SyndromeQueue(shape, window)
+        self.matching_queue = MatchingQueue(config.c_win)
+        self.pauli_frame = PauliFrame(num_qubits=max(1, qubit + 1))
+        self.register = ClassicalRegister()
+        self.expansion = ExpansionController(
+            default_distance=d,
+            expanded_distance=config.expanded_distance,
+        )
+        self.rollback = RollbackController(
+            self.syndrome_queue, self.matching_queue, self.pauli_frame,
+            self.register, distance=d, c_lat=config.c_win,
+        )
+        self.cycle = -1
+        self.known_regions: list[AnomalousRegion] = []
+        self.detections: list[DetectionEvent] = []
+
+    # ------------------------------------------------------------------
+    def step(self, activity_layer: np.ndarray,
+             cut_parity: int = 0) -> CycleReport:
+        """Process one code cycle of syndrome activity.
+
+        ``activity_layer`` is the difference-lattice layer for this cycle;
+        ``cut_parity`` is the decoder's north-cut correction parity
+        attributed to this cycle (fed to the matching queue journal).
+        """
+        self.cycle += 1
+        report = CycleReport(cycle=self.cycle)
+        self.syndrome_queue.push(self.cycle, activity_layer)
+        self.matching_queue.record(MatchRecord(
+            cycle=self.cycle, cut_parity=cut_parity,
+            num_matches=int(np.sum(activity_layer))))
+
+        detection = self.detector.observe(activity_layer)
+        if detection is not None:
+            self.detections.append(detection)
+            report.detection = detection
+            self._react(detection, report)
+
+        report.distance_changes = self.expansion.tick(self.cycle)
+        return report
+
+    # ------------------------------------------------------------------
+    def _react(self, detection: DetectionEvent, report: CycleReport) -> None:
+        """III-A (expand) and III-B (re-execute) of Fig. 4."""
+        cfg = self.config
+        self.expansion.request(
+            self.qubit, self.cycle, keep_cycles=cfg.anomaly_lifetime_cycles)
+        half = cfg.anomaly_size // 2
+        region = AnomalousRegion(
+            row_lo=max(0, detection.row - half),
+            col_lo=max(0, detection.col - half),
+            size=cfg.anomaly_size,
+            t_lo=detection.onset_estimate,
+            t_hi=detection.cycle + cfg.anomaly_lifetime_cycles,
+        )
+        self.known_regions.append(region)
+        try:
+            report.rollback = self.rollback.execute(detection.cycle)
+        except RollbackDenied:
+            report.rollback_denied = True
+
+    # ------------------------------------------------------------------
+    @property
+    def current_distance(self) -> int:
+        return self.expansion.state_of(self.qubit).current_distance
+
+    def memory_bits(self) -> dict[str, int]:
+        """Per-unit buffer footprint (cross-checked against Table III)."""
+        node_count = int(np.prod(self.syndrome_queue.shape))
+        return {
+            "syndrome_queue": self.syndrome_queue.memory_bits(),
+            "active_node_counter": self.detector.memory_bits(),
+            "matching_queue": self.matching_queue.memory_bits(node_count),
+        }

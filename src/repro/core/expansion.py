@@ -1,0 +1,126 @@
+"""Temporal code expansion controller (paper Sec. V).
+
+When the anomaly detection unit flags a logical qubit, it inserts an
+``op_expand`` into the *expansion queue*.  The controller grows the
+qubit's code distance to ``d_exp >= d + 2 d_ano`` (doubling, in practice:
+a 2x2 block of patches) as soon as plane space allows, keeps it expanded
+for the expected MBBE lifetime, extends the keep time if a second
+detection lands on an already-expanded qubit, and shrinks back afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+def required_expanded_distance(d: int, d_ano: int) -> int:
+    """The minimum useful expanded distance ``d + 2 d_ano`` (Sec. V-B)."""
+    return d + 2 * d_ano
+
+
+@dataclass(frozen=True)
+class ExpansionRequest:
+    """An ``op_expand`` sitting in the expansion queue."""
+
+    qubit: int
+    requested_cycle: int
+    keep_cycles: int
+
+
+@dataclass
+class QubitCodeState:
+    """Tracked per-logical-qubit encoding state."""
+
+    default_distance: int
+    current_distance: int
+    expanded_until: Optional[int] = None
+    expansion_started: Optional[int] = None
+
+    @property
+    def is_expanded(self) -> bool:
+        return self.current_distance > self.default_distance
+
+
+@dataclass
+class ExpansionController:
+    """Processes the expansion queue against plane-space availability.
+
+    Args:
+        default_distance: the default code distance ``d``.
+        expanded_distance: the target ``d_exp`` (defaults to ``2 d``,
+            the paper's 2x2-block doubling).
+        expansion_latency: cycles from commit to full protection (one
+            deformation round plus ``d_exp`` stabilizer rounds).
+        space_available: callback asked whether the plane has room to
+            expand a given qubit right now (the stabilizer assignment
+            unit's answer); default always true.
+    """
+
+    default_distance: int
+    expanded_distance: Optional[int] = None
+    expansion_latency: Optional[int] = None
+    space_available: Callable[[int], bool] = field(default=lambda qubit: True)
+    queue: deque = field(default_factory=deque)
+    states: dict[int, QubitCodeState] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.expanded_distance is None:
+            self.expanded_distance = 2 * self.default_distance
+        if self.expanded_distance < self.default_distance:
+            raise ValueError("expanded distance must be >= default")
+        if self.expansion_latency is None:
+            self.expansion_latency = 2 + self.expanded_distance
+
+    # ------------------------------------------------------------------
+    def state_of(self, qubit: int) -> QubitCodeState:
+        if qubit not in self.states:
+            self.states[qubit] = QubitCodeState(
+                self.default_distance, self.default_distance)
+        return self.states[qubit]
+
+    def request(self, qubit: int, cycle: int, keep_cycles: int) -> None:
+        """Queue an ``op_expand`` (called by the anomaly detection unit)."""
+        self.queue.append(ExpansionRequest(qubit, cycle, keep_cycles))
+
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> list[int]:
+        """Advance one code cycle; returns qubits whose distance changed.
+
+        Commits queued expansions when space allows; re-expansion requests
+        on an already-expanded qubit extend its keep time (Sec. V-B);
+        expired expansions shrink back to the default distance.
+        """
+        changed: list[int] = []
+        pending: deque = deque()
+        while self.queue:
+            req = self.queue.popleft()
+            state = self.state_of(req.qubit)
+            if state.is_expanded:
+                state.expanded_until = max(
+                    state.expanded_until or cycle, cycle + req.keep_cycles)
+                continue
+            if not self.space_available(req.qubit):
+                pending.append(req)
+                continue
+            state.current_distance = self.expanded_distance
+            state.expansion_started = cycle
+            state.expanded_until = cycle + req.keep_cycles
+            changed.append(req.qubit)
+        self.queue = pending
+
+        for qubit, state in self.states.items():
+            if (state.is_expanded and state.expanded_until is not None
+                    and cycle >= state.expanded_until):
+                state.current_distance = state.default_distance
+                state.expanded_until = None
+                state.expansion_started = None
+                changed.append(qubit)
+        return changed
+
+    def protection_effective_at(self, qubit: int, cycle: int) -> bool:
+        """True once the expanded code has been measured ``d_exp`` rounds."""
+        state = self.state_of(qubit)
+        return (state.is_expanded and state.expansion_started is not None
+                and cycle >= state.expansion_started + self.expansion_latency)

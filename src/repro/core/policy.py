@@ -1,0 +1,106 @@
+"""Reaction policies to a detected MBBE (paper Sec. V-A).
+
+Besides the code expansion that Q3DE defaults to, the paper lists
+alternative fault-tolerant reactions whose best choice "relies on the
+policy of qubit allocations":
+
+* ``EXPAND``   -- grow the code distance in place (Sec. V, the default);
+* ``RELOCATE`` -- move the affected logical qubit to a healthy area
+  (required for, e.g., trapped-ion reloading or recalibration, Sec. IX);
+* ``IGNORE``   -- rely on decoder re-execution alone.
+
+:class:`ReactionPolicyEngine` applies a policy to a
+:class:`~repro.arch.qubit_plane.QubitPlane`; relocation performs a
+lattice-surgery-style move into the nearest healthy vacant block.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.qubit_plane import BlockState, QubitPlane
+
+
+class ReactionPolicy(enum.Enum):
+    EXPAND = "expand"
+    RELOCATE = "relocate"
+    IGNORE = "ignore"
+
+
+@dataclass(frozen=True)
+class ReactionOutcome:
+    """What the policy did for one struck logical qubit."""
+
+    policy: ReactionPolicy
+    qubit: int
+    succeeded: bool
+    new_position: Optional[tuple[int, int]] = None
+    latency_slots: int = 0
+
+
+class ReactionPolicyEngine:
+    """Applies a reaction policy on the qubit plane."""
+
+    def __init__(self, plane: QubitPlane,
+                 policy: ReactionPolicy = ReactionPolicy.EXPAND):
+        self.plane = plane
+        self.policy = policy
+
+    # ------------------------------------------------------------------
+    def react(self, qubit: int, slot: int,
+              duration_slots: int) -> ReactionOutcome:
+        """Handle a strike on a logical qubit's block."""
+        if self.policy is ReactionPolicy.IGNORE:
+            return ReactionOutcome(self.policy, qubit, succeeded=True)
+        if self.policy is ReactionPolicy.EXPAND:
+            ok = self.plane.expand_logical(qubit, slot)
+            return ReactionOutcome(self.policy, qubit, succeeded=ok,
+                                   latency_slots=1)
+        return self._relocate(qubit, slot)
+
+    # ------------------------------------------------------------------
+    def _relocate(self, qubit: int, slot: int) -> ReactionOutcome:
+        """Move the qubit to the nearest healthy vacant block (BFS).
+
+        The move itself is a lattice-surgery teleport: one slot of
+        latency, during which source, destination, and the path between
+        them are reserved.
+        """
+        start = self.plane.logical_positions[qubit]
+        target = self._nearest_healthy_vacant(start, slot)
+        if target is None:
+            return ReactionOutcome(ReactionPolicy.RELOCATE, qubit,
+                                   succeeded=False)
+        src_block = self.plane.block(*start)
+        dst_block = self.plane.block(*target)
+        # The vacated block keeps its anomaly timer; it becomes a vacant
+        # (and currently anomalous) block the scheduler will avoid.
+        src_block.state = (BlockState.ANOMALOUS
+                           if src_block.anomalous_until > slot
+                           else BlockState.VACANT)
+        src_block.logical_id = None
+        dst_block.state = BlockState.LOGICAL
+        dst_block.logical_id = qubit
+        self.plane.logical_positions[qubit] = target
+        self.plane.reserve([start, target], until_slot=slot + 1)
+        return ReactionOutcome(ReactionPolicy.RELOCATE, qubit,
+                               succeeded=True, new_position=target,
+                               latency_slots=1)
+
+    def _nearest_healthy_vacant(
+            self, start: tuple[int, int],
+            slot: int) -> Optional[tuple[int, int]]:
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            cell = queue.popleft()
+            if cell != start and self.plane.routable(*cell, slot):
+                return cell
+            for nxt in self.plane.neighbors(*cell):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return None

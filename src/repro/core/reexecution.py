@@ -1,0 +1,115 @@
+"""Decoder re-execution with rollback (paper Sec. VI-C).
+
+On a detection at cycle ``t`` with latency ``c_lat``, the anomaly began
+around ``t - c_lat``; decode decisions made since ``t - c_lat - d`` were
+computed without knowledge of the anomaly and must be revisited.  The
+rollback controller:
+
+1. refuses if the host CPU already consumed a register entry corrected
+   after the rollback point (rolling back the host is out of scope);
+2. drops the affected matching-queue batches and Pauli-frame updates;
+3. marks affected classical-register entries "not-error-corrected";
+4. returns the retained syndrome layers so the decoding unit can
+   re-execute with anomaly-aware weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.buffers import MatchingQueue, SyndromeQueue
+from repro.arch.pauli_frame import ClassicalRegister, PauliFrame
+
+
+class RollbackDenied(Exception):
+    """The host CPU already consumed data the rollback would revoke."""
+
+
+@dataclass
+class RollbackOutcome:
+    """What a successful rollback handed back to the decoding unit."""
+
+    rollback_cycle: int
+    replay_layers: list[np.ndarray]
+    replay_start_cycle: int
+    dropped_batches: int
+    uncorrected_registers: list[int]
+    undone_frame_updates: int
+
+
+class RollbackController:
+    """Coordinates the buffers of Fig. 1 through a rollback.
+
+    Args:
+        syndrome_queue: retained syndrome layers (window >= c_lat + d).
+        matching_queue: batched decode-output journal.
+        pauli_frame: the journaled Pauli frame.
+        register: the classical register.
+        distance: current code distance ``d`` (sets rollback depth).
+        c_lat: detection latency in cycles.
+    """
+
+    def __init__(
+        self,
+        syndrome_queue: SyndromeQueue,
+        matching_queue: MatchingQueue,
+        pauli_frame: PauliFrame,
+        register: ClassicalRegister,
+        distance: int,
+        c_lat: int,
+    ):
+        self.syndrome_queue = syndrome_queue
+        self.matching_queue = matching_queue
+        self.pauli_frame = pauli_frame
+        self.register = register
+        self.distance = distance
+        self.c_lat = c_lat
+
+    def rollback_depth(self) -> int:
+        """How far before the detection the state must rewind: c_lat + d."""
+        return self.c_lat + self.distance
+
+    def execute(self, detection_cycle: int) -> RollbackOutcome:
+        """Roll every unit back to cycle ``detection_cycle - c_lat - d``.
+
+        Raises :class:`RollbackDenied` if a ``read`` already exposed an
+        affected register entry to the host CPU (Sec. VI-C: rolling back
+        the host is "too costly", so the rollback is aborted).
+        """
+        target = max(0, detection_cycle - self.rollback_depth())
+        if self.register.any_read_corrected_after(target):
+            raise RollbackDenied(
+                f"host already read a register entry corrected after "
+                f"cycle {target}")
+
+        oldest = self.syndrome_queue.oldest_cycle()
+        if oldest is not None and oldest > target:
+            # The queue no longer holds the full window; re-execute from
+            # what is retained (bounded staleness, still an improvement).
+            target = oldest
+
+        dropped = self.matching_queue.rollback_to(target)
+        undone = self.pauli_frame.rollback_to(target)
+        affected = self.register.entries_corrected_after(target)
+        for index in affected:
+            self.register.uncorrect(index)
+        replay = self.syndrome_queue.layers_since(target)
+        return RollbackOutcome(
+            rollback_cycle=target,
+            replay_layers=[rec.layer for rec in replay],
+            replay_start_cycle=replay[0].cycle if replay else target,
+            dropped_batches=len(dropped),
+            uncorrected_registers=affected,
+            undone_frame_updates=len(undone),
+        )
+
+    def read_stall_cycles(self) -> int:
+        """Worst-case extra wait for a ``read`` issued right after rollback.
+
+        The re-executed decoder must re-match ``d + c_lat`` cycles before
+        the register entry is corrected again, versus ``d`` without a
+        rollback -- the ``1 + c_lat / d`` factor of Sec. VIII-B.
+        """
+        return self.distance + self.c_lat

@@ -1,0 +1,97 @@
+"""Statistical modeling of the syndrome sequence (paper Sec. IV-A).
+
+With independent, identical per-cycle Pauli noise, the even-cycle
+active-node count over a window of ``c_win`` samples satisfies a central
+limit theorem:
+
+    V ~ N(c_win * mu, c_win * sigma^2)                          (Eq. 2)
+
+so an anomaly-free node stays below
+
+    V_th = c_win * mu + sqrt(2 c_win sigma^2) * erfinv(1 - alpha)   (Eq. 3)
+
+with confidence ``1 - alpha``.  The count threshold ``n_th`` (how many
+simultaneous above-threshold counters signal an MBBE) should satisfy
+
+    ln(p_L)/ln(alpha)  <  n_th  <  d_ano^2 - ln(p_L)/ln(alpha).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import erfinv
+
+
+@dataclass(frozen=True)
+class SyndromeStatistics:
+    """Calibrated per-node activity statistics (mu, sigma per cycle)."""
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mu <= 1.0:
+            raise ValueError("mu must be a probability")
+        if self.sigma < 0.0:
+            raise ValueError("sigma must be non-negative")
+
+    @classmethod
+    def from_activity_rate(cls, mu: float) -> "SyndromeStatistics":
+        """Bernoulli statistics for a per-cycle activity probability."""
+        return cls(mu, math.sqrt(mu * (1.0 - mu)))
+
+    @classmethod
+    def calibrate(cls, activity: np.ndarray) -> "SyndromeStatistics":
+        """Estimate (mu, sigma) from an observed activity stream.
+
+        ``activity`` is any array of 0/1 node-activity samples (the
+        pre-calibration phase of the paper).
+        """
+        arr = np.asarray(activity, dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot calibrate on an empty stream")
+        mu = float(arr.mean())
+        sigma = float(arr.std())
+        return cls(mu, sigma)
+
+
+def expected_activity_rate(p: float, degree: int = 6) -> float:
+    """Analytic per-cycle activity probability of a bulk syndrome node.
+
+    A difference node flips when an odd number of its independent error
+    mechanisms fire in the cycle: the ``degree`` incident data edges (4 in
+    the bulk) plus the two measurement flips it straddles.  Each fires
+    with probability ``p``, so the activity rate is the odd-parity
+    probability ``(1 - (1 - 2p)^degree) / 2``.
+    """
+    if not 0.0 <= p <= 0.5:
+        raise ValueError("p must be in [0, 0.5]")
+    return 0.5 * (1.0 - (1.0 - 2.0 * p) ** degree)
+
+
+def detection_threshold(stats: SyndromeStatistics, c_win: int,
+                        alpha: float = 0.01) -> float:
+    """Eq. (3): the per-counter confidence threshold V_th."""
+    if c_win < 1:
+        raise ValueError("window must hold at least one cycle")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    return (c_win * stats.mu
+            + math.sqrt(2.0 * c_win) * stats.sigma * float(erfinv(1.0 - alpha)))
+
+
+def recommended_count_threshold(p_logical: float, alpha: float,
+                                anomaly_size: int) -> tuple[float, float]:
+    """The paper's criterion bounds for n_th.
+
+    Returns ``(lower, upper)``; any integer strictly inside is a valid
+    ``n_th``.  If the interval is empty the device is already tolerant to
+    MBBEs at this logical error rate.
+    """
+    if not 0.0 < p_logical < 1.0 or not 0.0 < alpha < 1.0:
+        raise ValueError("p_logical and alpha must be in (0, 1)")
+    ratio = math.log(p_logical) / math.log(alpha)
+    return ratio, anomaly_size ** 2 - ratio

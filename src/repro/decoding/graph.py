@@ -1,0 +1,98 @@
+"""Syndrome-difference lattice: from sampled errors to active nodes.
+
+For a distance-``d`` planar code's Z-lattice, syndrome nodes live on a
+``(d-1) x d`` grid.  ``T`` noisy measurement rounds plus one final perfect
+round give ``T + 1`` difference layers; a node ``(t, i, j)`` is *active*
+when consecutive syndrome values differ (paper Fig. 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SyndromeLattice:
+    """Computes syndrome layers and active nodes from error arrays.
+
+    Args:
+        distance: the code distance ``d``; node grid is ``(d-1) x d``.
+    """
+
+    def __init__(self, distance: int):
+        if distance < 2:
+            raise ValueError("distance must be >= 2")
+        self.distance = distance
+        self.node_rows = distance - 1
+        self.node_cols = distance
+
+    # ------------------------------------------------------------------
+    def true_syndromes(self, v: np.ndarray, h: np.ndarray) -> np.ndarray:
+        """Noiseless cumulative syndromes, shape ``(T, d-1, d)``.
+
+        ``v``/``h`` are per-cycle data-edge flip arrays as produced by
+        :class:`repro.noise.PhenomenologicalNoise.sample`.  Entry ``t``
+        is the syndrome after the errors of cycles ``0..t``.
+        """
+        cum_v = np.cumsum(v, axis=0) & 1
+        cum_h = np.cumsum(h, axis=0) & 1
+        synd = (cum_v[:, :-1, :] ^ cum_v[:, 1:, :]).astype(np.uint8)
+        synd[:, :, :-1] ^= cum_h.astype(np.uint8)
+        synd[:, :, 1:] ^= cum_h.astype(np.uint8)
+        return synd
+
+    def measured_layers(self, v: np.ndarray, h: np.ndarray,
+                        m: np.ndarray) -> np.ndarray:
+        """Measured syndrome layers: T noisy rounds + 1 final perfect round.
+
+        Shape ``(T + 1, d-1, d)``.
+        """
+        true = self.true_syndromes(v, h)
+        cycles = v.shape[0]
+        layers = np.empty((cycles + 1, self.node_rows, self.node_cols),
+                          dtype=np.uint8)
+        layers[:cycles] = true ^ m.astype(np.uint8)
+        layers[cycles] = true[cycles - 1]
+        return layers
+
+    def difference_lattice(self, layers: np.ndarray) -> np.ndarray:
+        """Element-wise XOR of consecutive layers (first layer vs zero)."""
+        diff = layers.copy()
+        diff[1:] ^= layers[:-1]
+        return diff
+
+    def active_nodes(self, diff: np.ndarray) -> np.ndarray:
+        """Coordinates ``(t, i, j)`` of active nodes, shape ``(n, 3)``."""
+        return np.argwhere(diff.astype(bool))
+
+    def detection_events(self, v: np.ndarray, h: np.ndarray,
+                         m: np.ndarray) -> np.ndarray:
+        """Convenience: error arrays straight to active-node coordinates."""
+        layers = self.measured_layers(v, h, m)
+        return self.active_nodes(self.difference_lattice(layers))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def error_cut_parity(v: np.ndarray) -> int:
+        """Parity of error flips crossing the north-boundary cut.
+
+        The residual operator is a logical X iff error XOR correction
+        crosses the north cut an odd number of times; the error part of
+        that parity is the total number of flips of the ``k = 0`` vertical
+        edges over all cycles, mod 2.
+        """
+        return int(v[:, 0, :].sum()) & 1
+
+    def per_cycle_activity(self, v: np.ndarray, h: np.ndarray,
+                           m: np.ndarray) -> np.ndarray:
+        """Per-cycle node activity stream for the anomaly detection unit.
+
+        Returns the difference lattice restricted to the noisy rounds
+        (shape ``(T, d-1, d)``): what the `anomaly detection unit` sees as
+        cycles stream in (the final perfect round is an analysis artifact,
+        not part of the live stream).
+        """
+        true = self.true_syndromes(v, h)
+        noisy = true ^ m.astype(np.uint8)
+        diff = noisy.copy()
+        diff[1:] ^= noisy[:-1]
+        return diff

@@ -1,0 +1,25 @@
+"""Decoding-unit hardware model (paper Sec. VIII-D, Table IV).
+
+The paper evaluates a greedy-based decoder (QECOOL re-targeted from SFQ
+to an FPGA via Vitis HLS).  Offline we cannot run HLS, so this package
+substitutes a *model* (documented in DESIGN.md):
+
+* :mod:`repro.hwmodel.resources` -- structural FF/LUT/throughput cost
+  model calibrated against the paper's four published post-layout rows;
+* :mod:`repro.hwmodel.pipeline` -- a cycle-approximate software model of
+  the ANQ (active nodes queue) matching pipeline that also measures the
+  real algorithm's software throughput.
+
+The reproduced *claims* are the ratios: Q3DE costs roughly 40 % more LUTs
+than BASE at equal entry count, with near-parity throughput.
+"""
+
+from repro.hwmodel.resources import DecoderHardwareModel, required_anq_entries
+from repro.hwmodel.pipeline import ANQPipelineModel, measure_software_throughput
+
+__all__ = [
+    "DecoderHardwareModel",
+    "required_anq_entries",
+    "ANQPipelineModel",
+    "measure_software_throughput",
+]

@@ -1,0 +1,160 @@
+"""Structural FF/LUT/throughput cost model of the greedy decoding unit.
+
+The decoding unit keeps an *active nodes queue* (ANQ) of ``E`` entries;
+each code cycle it evaluates all-to-all candidate paths between entries
+(and to the boundary/anomaly), picks the shortest pair via a comparator
+tree, and emits it.  BASE evaluates path lengths in 8-bit arithmetic with
+one candidate path per pair; Q3DE widens the datapath to 16 bits and
+considers the six candidate routes of Fig. 6(c).
+
+Cost model (coefficients calibrated to the paper's four post-layout
+configurations; see DESIGN.md "Substitutions"):
+
+* ``FF  = ff_base + ff_per_entry_bit * bits * E``
+  -- entry registers and pipeline registers scale with entry count and
+  datapath width;
+* ``LUT = lut_pair_per_bit * bits * E^2 + lut_path_unit * E``
+  -- the all-to-all comparison network scales with ``E^2 * bits``, the
+  per-entry path-evaluation units with ``E`` (Q3DE's six-way candidate
+  mux makes its per-entry unit larger);
+* ``cycles/match = lat_linear * E + lat_quad * E^2``, throughput =
+  ``f_clk / cycles`` in matches/us at 400 MHz.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import poisson
+
+from repro.core.statistics import expected_activity_rate
+
+#: Zynq UltraScale+ XCZU7EV totals, for utilisation percentages.
+DEVICE_FF_TOTAL = 460_800
+DEVICE_LUT_TOTAL = 230_400
+CLOCK_MHZ = 400.0
+
+_FF_BASE = 4_800.0
+_FF_PER_ENTRY_BIT = 13.5
+_LUT_PAIR_PER_BIT = 0.281
+_LUT_PATH_UNIT = {"base": 276.0, "q3de": 331.0}
+_LAT_LINEAR = {"base": 1.53, "q3de": 1.91}
+_LAT_QUAD = {"base": 0.0154, "q3de": 0.011}
+
+
+@dataclass(frozen=True)
+class DecoderHardwareModel:
+    """One Table IV configuration: ``E`` ANQ entries, BASE or Q3DE."""
+
+    anq_entries: int
+    q3de: bool
+
+    def __post_init__(self) -> None:
+        if self.anq_entries < 2:
+            raise ValueError("the ANQ needs at least two entries")
+
+    @property
+    def variant(self) -> str:
+        return "q3de" if self.q3de else "base"
+
+    @property
+    def path_bits(self) -> int:
+        """Path-length datapath width: Q3DE's weighted paths need 16 bits."""
+        return 16 if self.q3de else 8
+
+    @property
+    def candidate_paths(self) -> int:
+        """Candidate routes evaluated per pair (Fig. 6c lists six)."""
+        return 6 if self.q3de else 2
+
+    # ------------------------------------------------------------------
+    def flip_flops(self) -> int:
+        return round(_FF_BASE
+                     + _FF_PER_ENTRY_BIT * self.path_bits * self.anq_entries)
+
+    def luts(self) -> int:
+        e = self.anq_entries
+        return round(_LUT_PAIR_PER_BIT * self.path_bits * e * e
+                     + _LUT_PATH_UNIT[self.variant] * e)
+
+    def ff_utilisation(self) -> float:
+        return self.flip_flops() / DEVICE_FF_TOTAL
+
+    def lut_utilisation(self) -> float:
+        return self.luts() / DEVICE_LUT_TOTAL
+
+    def cycles_per_match(self) -> float:
+        e = self.anq_entries
+        return _LAT_LINEAR[self.variant] * e + _LAT_QUAD[self.variant] * e * e
+
+    def throughput_matches_per_us(self) -> float:
+        """Matches per microsecond at the 400 MHz clock."""
+        return CLOCK_MHZ / self.cycles_per_match()
+
+    def table_row(self) -> dict[str, float]:
+        """One row of Table IV."""
+        return {
+            "config": f"{self.anq_entries} - {self.variant.upper()}",
+            "FF": self.flip_flops(),
+            "FF%": round(100 * self.ff_utilisation()),
+            "LUT": self.luts(),
+            "LUT%": round(100 * self.lut_utilisation()),
+            "throughput": round(self.throughput_matches_per_us(), 2),
+        }
+
+
+def lut_overhead_ratio(anq_entries: int) -> float:
+    """Q3DE's LUT overhead over BASE at equal entry count (~40 %)."""
+    base = DecoderHardwareModel(anq_entries, q3de=False).luts()
+    q3de = DecoderHardwareModel(anq_entries, q3de=True).luts()
+    return q3de / base - 1.0
+
+
+def required_anq_entries(p: float, distance: int,
+                         p_l_target: float = 1e-15,
+                         drain_cycles: float = 2.0) -> int:
+    """ANQ entries so overflow is rarer than the logical error rate.
+
+    Active nodes arrive at roughly ``2 d^2 mu(p)`` per code cycle (both
+    lattices); the queue must absorb a ``drain_cycles`` burst before the
+    pipeline catches up, with overflow probability below ``p_l_target``.
+    The arrival count is Poisson to excellent approximation, so the
+    requirement is its upper quantile (via the survival function, which
+    stays accurate at 1e-15 tails).
+
+    Paper reference points: about 30 entries for (p=1e-4, d=15) and about
+    70 for (p=1e-3, d=31) at p_L = 1e-15.  With the default two-cycle
+    drain window this model lands at the same order (the paper's numbers
+    carry additional safety margin for MBBE bursts).
+    """
+    if drain_cycles <= 0:
+        raise ValueError("drain window must be positive")
+    mu = expected_activity_rate(p)
+    rate = 2.0 * distance * distance * mu * drain_cycles
+    raw = poisson.isf(p_l_target, rate)
+    entries = -1 if np.isnan(raw) else int(raw)
+    if entries < 0:
+        # scipy's isf underflows for extreme tails at small rates; walk
+        # the log survival function instead (exact and stable).
+        log_target = np.log(p_l_target)
+        k = 0
+        while poisson.logsf(k, rate) > log_target:
+            k += 1
+        entries = k
+    return max(2, entries + 1)
+
+
+def paper_table4_rows() -> list[dict[str, float]]:
+    """The paper's published Table IV, for side-by-side bench output."""
+    return [
+        {"config": "40 - BASE", "FF": 8_991, "FF%": 4, "LUT": 14_679,
+         "LUT%": 6, "throughput": 4.66},
+        {"config": "40 - Q3DE", "FF": 13_855, "FF%": 6, "LUT": 20_279,
+         "LUT%": 9, "throughput": 4.25},
+        {"config": "80 - BASE", "FF": 13_211, "FF%": 6, "LUT": 36_668,
+         "LUT%": 16, "throughput": 1.81},
+        {"config": "80 - Q3DE", "FF": 22_751, "FF%": 10, "LUT": 54_638,
+         "LUT%": 24, "throughput": 1.79},
+    ]

@@ -1,0 +1,27 @@
+"""Noise models: per-cycle Pauli channels and the cosmic-ray MBBE model.
+
+The paper's simulation noise model (Sec. VII-A): at the start of every
+code cycle each data and ancillary qubit independently suffers a Pauli
+X, Y, or Z error with probability ``p/2`` each (``p_ano/2`` inside an
+anomalous region).  On a single decoding lattice this reduces to
+data-edge flip probability ``p`` and measurement-flip probability ``p``.
+
+:mod:`repro.noise.cosmic_ray` models the MBBE process itself: Poisson
+strike arrivals with frequency ``f_ano``, an anomalous region of size
+``d_ano``, and an exponentially decaying lifetime with constant
+``tau_ano`` = 25 ms (McEwen et al.).
+"""
+
+from repro.noise.models import AnomalousRegion, PhenomenologicalNoise
+from repro.noise.cosmic_ray import CosmicRayModel, CosmicRayStrike
+from repro.noise.leakage import BurstEvent, BurstProcess, BurstSource
+
+__all__ = [
+    "AnomalousRegion",
+    "PhenomenologicalNoise",
+    "CosmicRayModel",
+    "CosmicRayStrike",
+    "BurstEvent",
+    "BurstProcess",
+    "BurstSource",
+]

@@ -1,0 +1,158 @@
+"""Non-cosmic-ray burst-error sources (paper Sec. IX-B).
+
+Trapped ions and neutral atoms do not sit on a substrate, so cosmic rays
+barely matter -- but they have their own MBBE mechanisms, which Q3DE's
+detection/reaction machinery handles with small changes:
+
+* **atom loss** -- a trapped atom escapes; its error rate is effectively
+  50 % until it is reloaded (a *single-qubit* burst for neutral atoms; a
+  whole Coulomb-crystal scramble for ions, i.e. a true MBBE);
+* **leakage** -- the qubit transitions to a state outside the
+  computational space (~1e-5 per gate today), again 50 % error until
+  re-pumped;
+* **calibration drift** -- stray-field changes degrade a region until
+  re-calibration, which requires *relocating* the logical qubit rather
+  than expanding it.
+
+Each source is modelled as a Poisson arrival process that emits
+:class:`BurstEvent` records compatible with
+:class:`~repro.noise.models.AnomalousRegion`, plus the reaction policy
+the paper recommends for it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.policy import ReactionPolicy
+from repro.noise.models import AnomalousRegion
+
+
+class BurstSource(enum.Enum):
+    COSMIC_RAY = "cosmic_ray"
+    ATOM_LOSS = "atom_loss"
+    CRYSTAL_SCRAMBLE = "crystal_scramble"
+    LEAKAGE = "leakage"
+    CALIBRATION_DRIFT = "calibration_drift"
+
+
+#: The paper's recommended reaction per source (Sec. IX).
+RECOMMENDED_POLICY = {
+    BurstSource.COSMIC_RAY: ReactionPolicy.EXPAND,
+    BurstSource.ATOM_LOSS: ReactionPolicy.RELOCATE,    # must reload
+    BurstSource.CRYSTAL_SCRAMBLE: ReactionPolicy.RELOCATE,
+    BurstSource.LEAKAGE: ReactionPolicy.RELOCATE,      # must re-pump
+    BurstSource.CALIBRATION_DRIFT: ReactionPolicy.RELOCATE,
+}
+
+
+@dataclass(frozen=True)
+class BurstEvent:
+    """One burst: where, when, how wide, how noisy, and from what."""
+
+    source: BurstSource
+    cycle: int
+    row: int
+    col: int
+    size: int
+    duration_cycles: int
+    p_ano: float = 0.5
+
+    def region(self, t_hi: Optional[int] = None) -> AnomalousRegion:
+        """The event as an anomalous region for decoding/simulation."""
+        end = (self.cycle + self.duration_cycles
+               if t_hi is None else t_hi)
+        return AnomalousRegion(self.row, self.col, self.size,
+                               t_lo=self.cycle, t_hi=end)
+
+    @property
+    def recommended_policy(self) -> ReactionPolicy:
+        return RECOMMENDED_POLICY[self.source]
+
+
+@dataclass
+class BurstProcess:
+    """Poisson arrivals of one burst source over a node lattice.
+
+    Args:
+        source: what kind of burst this is.
+        rate_per_cycle: arrival probability per code cycle (per lattice).
+        size: burst extent in qubits across (1 for loss/leakage).
+        duration_cycles: how long the burst degrades the region.
+        rows, cols: lattice extent for positions.
+    """
+
+    source: BurstSource
+    rate_per_cycle: float
+    size: int
+    duration_cycles: int
+    rows: int
+    cols: int
+    p_ano: float = 0.5
+    rng: np.random.Generator = field(
+        default_factory=np.random.default_rng, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rate_per_cycle < 0:
+            raise ValueError("rate must be non-negative")
+        if self.size < 1 or self.duration_cycles < 1:
+            raise ValueError("size and duration must be positive")
+
+    def sample(self, total_cycles: int) -> list[BurstEvent]:
+        """Events landing inside the window, sorted by cycle."""
+        count = int(self.rng.poisson(self.rate_per_cycle * total_cycles))
+        events = []
+        for _ in range(count):
+            events.append(BurstEvent(
+                source=self.source,
+                cycle=int(self.rng.integers(0, total_cycles)),
+                row=int(self.rng.integers(
+                    0, max(1, self.rows - self.size + 1))),
+                col=int(self.rng.integers(
+                    0, max(1, self.cols - self.size + 1))),
+                size=self.size,
+                duration_cycles=self.duration_cycles,
+                p_ano=self.p_ano,
+            ))
+        return sorted(events, key=lambda e: e.cycle)
+
+
+def ion_trap_processes(rows: int, cols: int,
+                       rng: Optional[np.random.Generator] = None,
+                       cycle_s: float = 1e-4,
+                       ) -> list[BurstProcess]:
+    """Sec. IX-B reference processes for a trapped-ion lattice.
+
+    Order-of-magnitude device anchors (not fits):
+
+    * atom loss about once per two weeks per trap (Dubielzig et al.);
+    * crystal scrambles an order rarer, but wiping a whole ion chain;
+    * leakage out of the qubit space ~1e-5 per gate, suppressed by
+      leakage-reduction circuitry to an effective ~1e-7 per qubit per
+      cycle of residual burst starts;
+    * calibration drift on the scale of hours.
+
+    ``cycle_s`` converts per-second physics to per-cycle rates (ion code
+    cycles are ~100 us, not the 1 us of superconducting qubits).
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    sites = rows * cols
+    per_site_loss_hz = 1.0 / (14 * 86_400)      # once per two weeks
+    drift_hz = 1.0 / (4 * 3_600)                # every few hours
+    return [
+        BurstProcess(BurstSource.ATOM_LOSS,
+                     per_site_loss_hz * sites * cycle_s, 1, 200_000,
+                     rows, cols, rng=rng),
+        BurstProcess(BurstSource.CRYSTAL_SCRAMBLE,
+                     0.1 * per_site_loss_hz * sites * cycle_s,
+                     max(rows, cols), 500_000, rows, cols, rng=rng),
+        BurstProcess(BurstSource.LEAKAGE, 1e-7 * sites, 1, 50_000,
+                     rows, cols, rng=rng),
+        BurstProcess(BurstSource.CALIBRATION_DRIFT,
+                     drift_hz * cycle_s, 3, 1_000_000,
+                     rows, cols, rng=rng),
+    ]

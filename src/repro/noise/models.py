@@ -1,0 +1,159 @@
+"""Per-cycle Pauli noise with optional anomalous regions.
+
+An :class:`AnomalousRegion` is an axis-aligned box on the decoding lattice
+(rows x cols x time) whose qubits have the elevated physical error rate
+``p_ano``.  :class:`PhenomenologicalNoise` samples per-cycle error arrays
+for the Z-decoding lattice of a distance-``d`` planar code:
+
+* ``v`` -- vertical data-edge flips, shape ``(T, d, d)``: entry
+  ``(t, k, j)`` is the edge between node rows ``k-1`` and ``k`` of lattice
+  column ``j`` (``k = 0`` touches the north boundary, ``k = d-1`` the
+  south boundary);
+* ``h`` -- horizontal data-edge flips, shape ``(T, d-1, d-1)``: entry
+  ``(t, i, j)`` is the edge between nodes ``(i, j)`` and ``(i, j+1)``;
+* ``m`` -- syndrome-measurement flips, shape ``(T, d-1, d)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AnomalousRegion:
+    """A box of anomalous qubits on the decoding lattice.
+
+    Rows/cols address lattice *nodes*; the box covers nodes with
+    ``row_lo <= i < row_lo + size`` and ``col_lo <= j < col_lo + size``
+    (plus the data edges incident on them), matching an anomaly of
+    ``size = d_ano`` qubits across.  Time bounds are in code cycles;
+    ``t_hi = None`` means "until the end of the window".
+    """
+
+    row_lo: int
+    col_lo: int
+    size: int
+    t_lo: int = 0
+    t_hi: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("anomaly size must be >= 1")
+        if self.row_lo < 0 or self.col_lo < 0 or self.t_lo < 0:
+            raise ValueError("region origin must be non-negative")
+        if self.t_hi is not None and self.t_hi < self.t_lo:
+            raise ValueError("t_hi must be >= t_lo")
+
+    @property
+    def row_hi(self) -> int:
+        return self.row_lo + self.size
+
+    @property
+    def col_hi(self) -> int:
+        return self.col_lo + self.size
+
+    def active_at(self, t: int) -> bool:
+        """True iff the region is anomalous during cycle ``t``."""
+        return self.t_lo <= t and (self.t_hi is None or t < self.t_hi)
+
+    def contains_node(self, i: int, j: int) -> bool:
+        """True iff lattice node (i, j) lies inside the box."""
+        return (self.row_lo <= i < self.row_hi
+                and self.col_lo <= j < self.col_hi)
+
+    @classmethod
+    def centered(cls, distance: int, size: int,
+                 t_lo: int = 0, t_hi: Optional[int] = None) -> "AnomalousRegion":
+        """A size x size region centered on a distance-``distance`` lattice."""
+        rows, cols = distance - 1, distance
+        row_lo = max(0, (rows - size) // 2)
+        col_lo = max(0, (cols - size) // 2)
+        return cls(row_lo, col_lo, size, t_lo, t_hi)
+
+
+class PhenomenologicalNoise:
+    """Samples per-cycle error arrays for the Z-decoding lattice.
+
+    Args:
+        distance: the code distance ``d``.
+        p: physical error rate per code cycle for normal qubits.  On the
+            lattice this is both the data-edge and measurement flip rate
+            (X or Y each occur with probability ``p/2``).
+        p_ano: physical error rate for anomalous qubits (default 0.5, the
+            paper's Sec. III / VII setting).
+        region: optional anomalous region.
+    """
+
+    def __init__(
+        self,
+        distance: int,
+        p: float,
+        p_ano: float = 0.5,
+        region: Optional[AnomalousRegion] = None,
+    ):
+        if not 0.0 <= p <= 1.0 or not 0.0 <= p_ano <= 1.0:
+            raise ValueError("error rates must be probabilities")
+        if distance < 2:
+            raise ValueError("distance must be >= 2")
+        self.distance = distance
+        self.p = p
+        self.p_ano = p_ano
+        self.region = region
+        self._masks = self._build_masks()
+
+    # ------------------------------------------------------------------
+    def _build_masks(self):
+        """Boolean spatial masks of anomalous edges/measurements."""
+        d = self.distance
+        v_mask = np.zeros((d, d), dtype=bool)
+        h_mask = np.zeros((d - 1, d - 1), dtype=bool)
+        m_mask = np.zeros((d - 1, d), dtype=bool)
+        if self.region is None:
+            return v_mask, h_mask, m_mask
+        reg = self.region
+        for i in range(max(0, reg.row_lo), min(d - 1, reg.row_hi)):
+            for j in range(max(0, reg.col_lo), min(d, reg.col_hi)):
+                m_mask[i, j] = True
+                # Edges incident on node (i, j): vertical k=i and k=i+1,
+                # horizontal (i, j-1) and (i, j).
+                v_mask[i, j] = True
+                v_mask[i + 1, j] = True
+                if j - 1 >= 0 and j - 1 < d - 1:
+                    h_mask[i, j - 1] = True
+                if j < d - 1:
+                    h_mask[i, j] = True
+        return v_mask, h_mask, m_mask
+
+    @property
+    def anomalous_masks(self):
+        """(v_mask, h_mask, m_mask) boolean arrays of anomalous positions."""
+        return self._masks
+
+    # ------------------------------------------------------------------
+    def sample(self, cycles: int, rng: np.random.Generator):
+        """Sample error arrays for ``cycles`` code cycles.
+
+        Returns ``(v, h, m)`` boolean arrays of shapes
+        ``(T, d, d)``, ``(T, d-1, d-1)``, ``(T, d-1, d)``.
+        """
+        d = self.distance
+        v = rng.random((cycles, d, d)) < self.p
+        h = rng.random((cycles, d - 1, d - 1)) < self.p
+        m = rng.random((cycles, d - 1, d)) < self.p
+        if self.region is not None and self.p_ano != self.p:
+            v_mask, h_mask, m_mask = self._masks
+            t_lo = self.region.t_lo
+            t_hi = self.region.t_hi if self.region.t_hi is not None else cycles
+            t_lo, t_hi = max(0, t_lo), min(cycles, t_hi)
+            if t_hi > t_lo:
+                span = t_hi - t_lo
+                v[t_lo:t_hi][:, v_mask] = (
+                    rng.random((span, int(v_mask.sum()))) < self.p_ano)
+                h[t_lo:t_hi][:, h_mask] = (
+                    rng.random((span, int(h_mask.sum()))) < self.p_ano)
+                m[t_lo:t_hi][:, m_mask] = (
+                    rng.random((span, int(m_mask.sum()))) < self.p_ano)
+        return v, h, m

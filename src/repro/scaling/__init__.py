@@ -1,0 +1,15 @@
+"""Scalability analysis: required chip area and qubit density (Fig. 9)."""
+
+from repro.scaling.model import (
+    ScalingParameters,
+    average_logical_error_rate,
+    required_density,
+    density_curve,
+)
+
+__all__ = [
+    "ScalingParameters",
+    "average_logical_error_rate",
+    "required_density",
+    "density_curve",
+]

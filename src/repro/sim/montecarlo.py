@@ -1,0 +1,55 @@
+"""Monte-Carlo statistics helpers: binomial estimates and intervals."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def wilson_interval(successes: int, trials: int,
+                    z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Robust near 0 and 1, which is where logical error rates live.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be within [0, trials]")
+    phat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = phat + z * z / (2 * trials)
+    margin = z * math.sqrt(
+        phat * (1.0 - phat) / trials + z * z / (4 * trials * trials))
+    return max(0.0, (centre - margin) / denom), min(1.0, (centre + margin) / denom)
+
+
+@dataclass(frozen=True)
+class BinomialEstimate:
+    """A counted proportion with its uncertainty."""
+
+    successes: int
+    trials: int
+
+    def __post_init__(self) -> None:
+        if self.trials <= 0:
+            raise ValueError("trials must be positive")
+        if not 0 <= self.successes <= self.trials:
+            raise ValueError("successes out of range")
+
+    @property
+    def mean(self) -> float:
+        return self.successes / self.trials
+
+    @property
+    def std_error(self) -> float:
+        p = self.mean
+        return math.sqrt(max(p * (1.0 - p), 1.0 / self.trials) / self.trials)
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        return wilson_interval(self.successes, self.trials)
+
+    def __add__(self, other: "BinomialEstimate") -> "BinomialEstimate":
+        return BinomialEstimate(self.successes + other.successes,
+                                self.trials + other.trials)

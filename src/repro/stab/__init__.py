@@ -1,0 +1,21 @@
+"""Stabilizer-circuit substrate.
+
+This subpackage provides a from-scratch implementation of the
+Aaronson--Gottesman (CHP) stabilizer formalism used to verify the
+surface-code machinery on small instances:
+
+* :mod:`repro.stab.pauli` -- symplectic Pauli-operator algebra.
+* :mod:`repro.stab.tableau` -- a stabilizer tableau simulator supporting
+  H, S, CX, CZ, X, Y, Z gates and single-qubit measurements.
+
+The Q3DE paper itself relies on direct Pauli-frame error simulation, but a
+stabilizer simulator lets us check that the stabilizer maps, logical
+operators, and code-deformation steps defined in :mod:`repro.surface_code`
+are quantum-mechanically consistent (e.g. that ``op_expand`` preserves the
+encoded logical state).
+"""
+
+from repro.stab.pauli import Pauli
+from repro.stab.tableau import StabilizerSimulator
+
+__all__ = ["Pauli", "StabilizerSimulator"]

@@ -1,0 +1,276 @@
+"""Aaronson--Gottesman stabilizer tableau simulator.
+
+Implements the CHP algorithm [PRA 70, 052328 (2004)]: an ``n``-qubit
+stabilizer state is represented by ``2n`` rows (``n`` destabilizers then
+``n`` stabilizers), each a Pauli stored as binary X/Z vectors plus a sign
+bit.  Supported operations: H, S, X, Y, Z, CX, CZ, single-qubit Z- and
+X-basis measurement (with deterministic-outcome detection), and expectation
+queries for arbitrary Pauli observables.
+
+This simulator is the verification substrate for the surface-code layer:
+it lets tests check that stabilizer maps, logical operators, syndrome
+extraction circuits, and the ``op_expand`` code deformation behave as
+quantum mechanics demands on small code instances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.stab.pauli import Pauli
+
+
+class StabilizerSimulator:
+    """A stabilizer-state simulator over ``num_qubits`` qubits.
+
+    The state starts in ``|0...0>``.  Rows ``0..n-1`` of the tableau are
+    destabilizers, rows ``n..2n-1`` are stabilizers.  ``r`` holds the sign
+    bit of each row (0 for ``+``, 1 for ``-``).
+    """
+
+    def __init__(self, num_qubits: int, rng: Optional[np.random.Generator] = None):
+        if num_qubits <= 0:
+            raise ValueError("num_qubits must be positive")
+        self.num_qubits = num_qubits
+        n = num_qubits
+        self.x = np.zeros((2 * n, n), dtype=np.uint8)
+        self.z = np.zeros((2 * n, n), dtype=np.uint8)
+        self.r = np.zeros(2 * n, dtype=np.uint8)
+        # Destabilizer i = X_i, stabilizer i = Z_i.
+        for i in range(n):
+            self.x[i, i] = 1
+            self.z[n + i, i] = 1
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    # ------------------------------------------------------------------
+    # Clifford gates
+    # ------------------------------------------------------------------
+    def h(self, q: int) -> None:
+        """Hadamard on qubit ``q``: X <-> Z."""
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.x[:, q], self.z[:, q] = self.z[:, q].copy(), self.x[:, q].copy()
+
+    def s(self, q: int) -> None:
+        """Phase gate on qubit ``q``: X -> Y, Z -> Z."""
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.z[:, q] ^= self.x[:, q]
+
+    def x_gate(self, q: int) -> None:
+        """Pauli X on qubit ``q`` (flips signs of rows with Z there)."""
+        self.r ^= self.z[:, q]
+
+    def z_gate(self, q: int) -> None:
+        """Pauli Z on qubit ``q`` (flips signs of rows with X there)."""
+        self.r ^= self.x[:, q]
+
+    def y_gate(self, q: int) -> None:
+        """Pauli Y on qubit ``q``."""
+        self.r ^= self.x[:, q] ^ self.z[:, q]
+
+    def cx(self, control: int, target: int) -> None:
+        """Controlled-X with the given control and target."""
+        if control == target:
+            raise ValueError("control and target must differ")
+        xc, zc = self.x[:, control], self.z[:, control]
+        xt, zt = self.x[:, target], self.z[:, target]
+        self.r ^= xc & zt & (xt ^ zc ^ 1)
+        self.x[:, target] = xt ^ xc
+        self.z[:, control] = zc ^ zt
+
+    def cz(self, a: int, b: int) -> None:
+        """Controlled-Z between qubits ``a`` and ``b``."""
+        self.h(b)
+        self.cx(a, b)
+        self.h(b)
+
+    def apply_pauli(self, pauli: Pauli) -> None:
+        """Apply an n-qubit Pauli (as an error/frame update) to the state."""
+        if pauli.num_qubits != self.num_qubits:
+            raise ValueError("operator size mismatch")
+        for q in pauli.support():
+            has_x, has_z = bool(pauli.x[q]), bool(pauli.z[q])
+            if has_x and has_z:
+                self.y_gate(q)
+            elif has_x:
+                self.x_gate(q)
+            else:
+                self.z_gate(q)
+
+    # ------------------------------------------------------------------
+    # Row arithmetic (CHP `rowsum`)
+    # ------------------------------------------------------------------
+    def _g(self, x1, z1, x2, z2):
+        """Exponent contribution of multiplying single-qubit Paulis.
+
+        Returns, element-wise, the power of ``i`` picked up when the
+        (x1, z1) Pauli is multiplied by the (x2, z2) Pauli, per CHP.
+        """
+        x1 = x1.astype(np.int8)
+        z1 = z1.astype(np.int8)
+        x2 = x2.astype(np.int8)
+        z2 = z2.astype(np.int8)
+        # Case analysis from Aaronson-Gottesman:
+        out = np.zeros_like(x1)
+        both = (x1 == 1) & (z1 == 1)
+        only_x = (x1 == 1) & (z1 == 0)
+        only_z = (x1 == 0) & (z1 == 1)
+        out[both] = (z2 - x2)[both]
+        out[only_x] = (z2 * (2 * x2 - 1))[only_x]
+        out[only_z] = (x2 * (1 - 2 * z2))[only_z]
+        return out
+
+    def _rowsum(self, h: int, i: int) -> None:
+        """Row h <- row h * row i, with correct sign tracking."""
+        g_sum = int(np.sum(self._g(self.x[i], self.z[i], self.x[h], self.z[h])))
+        total = 2 * int(self.r[h]) + 2 * int(self.r[i]) + g_sum
+        self.r[h] = (total % 4) // 2
+        self.x[h] ^= self.x[i]
+        self.z[h] ^= self.z[i]
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def measure_z(self, q: int, forced: Optional[int] = None) -> int:
+        """Measure qubit ``q`` in the Z basis; returns 0 or 1.
+
+        ``forced`` pins the outcome of a *random* measurement (useful for
+        deterministic tests); forcing a deterministic measurement to the
+        wrong value raises ``ValueError``.
+        """
+        n = self.num_qubits
+        stab_rows = np.nonzero(self.x[n:, q])[0]
+        if stab_rows.size > 0:
+            # Outcome is random.
+            p = int(stab_rows[0]) + n
+            for h in range(2 * n):
+                if h != p and self.x[h, q]:
+                    self._rowsum(h, p)
+            self.x[p - n] = self.x[p]
+            self.z[p - n] = self.z[p]
+            self.r[p - n] = self.r[p]
+            self.x[p] = 0
+            self.z[p] = 0
+            self.z[p, q] = 1
+            if forced is None:
+                outcome = int(self.rng.integers(0, 2))
+            else:
+                outcome = int(forced) & 1
+            self.r[p] = outcome
+            return outcome
+        # Outcome is deterministic: accumulate into scratch row.
+        scratch_x = np.zeros(n, dtype=np.uint8)
+        scratch_z = np.zeros(n, dtype=np.uint8)
+        scratch_r = 0
+        for i in range(n):
+            if self.x[i, q]:
+                g_sum = int(np.sum(self._g(self.x[i + n], self.z[i + n],
+                                           scratch_x, scratch_z)))
+                total = 2 * scratch_r + 2 * int(self.r[i + n]) + g_sum
+                scratch_r = (total % 4) // 2
+                scratch_x ^= self.x[i + n]
+                scratch_z ^= self.z[i + n]
+        outcome = int(scratch_r)
+        if forced is not None and (int(forced) & 1) != outcome:
+            raise ValueError(
+                f"measurement of qubit {q} is deterministic ({outcome}); "
+                f"cannot force {forced}"
+            )
+        return outcome
+
+    def measure_x(self, q: int, forced: Optional[int] = None) -> int:
+        """Measure qubit ``q`` in the X basis."""
+        self.h(q)
+        outcome = self.measure_z(q, forced=forced)
+        self.h(q)
+        return outcome
+
+    def measure_pauli(self, pauli: Pauli, forced: Optional[int] = None) -> int:
+        """Measure an arbitrary Pauli observable.
+
+        Implemented by mapping the observable onto a fresh interpretation:
+        we conjugate so that the observable becomes Z on its first support
+        qubit, using an ancilla-free textbook circuit of CX/H/S gates, then
+        measure and un-conjugate.
+        """
+        if pauli.num_qubits != self.num_qubits:
+            raise ValueError("operator size mismatch")
+        support = pauli.support()
+        if not support:
+            # Identity observable: outcome is fixed by the phase.
+            return 0 if pauli.phase == 0 else 1
+        undo: list[tuple[str, tuple[int, ...]]] = []
+
+        def do(gate: str, *qubits: int) -> None:
+            getattr(self, gate)(*qubits)
+            undo.append((gate, qubits))
+
+        # Rotate each support qubit so the observable acts as Z there.
+        for q in support:
+            has_x, has_z = bool(pauli.x[q]), bool(pauli.z[q])
+            if has_x and has_z:  # Y -> Z via S^dagger then H: use S;S;S then H
+                do("s", q)
+                do("s", q)
+                do("s", q)
+                do("h", q)
+            elif has_x:  # X -> Z via H
+                do("h", q)
+        # Fold all support onto the first qubit with CX chains.
+        root = support[0]
+        for q in support[1:]:
+            do("cx", q, root)
+        outcome = self.measure_z(root, forced=forced)
+        # Undo the basis changes (all gates used are self-inverse except S,
+        # which we undo by applying it three more times).
+        for gate, qubits in reversed(undo):
+            if gate == "s":
+                for _ in range(3):
+                    getattr(self, gate)(*qubits)
+            else:
+                getattr(self, gate)(*qubits)
+        if pauli.phase == 2:  # Observable carries a -1 prefactor.
+            outcome ^= 1
+        elif pauli.phase in (1, 3):
+            raise ValueError("cannot measure a non-Hermitian Pauli (phase i)")
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def expectation_is_deterministic(self, pauli: Pauli) -> bool:
+        """True iff the observable commutes with every stabilizer."""
+        n = self.num_qubits
+        for i in range(n):
+            row = Pauli(self.x[n + i], self.z[n + i])
+            if not row.commutes_with(pauli):
+                return False
+        return True
+
+    def expectation(self, pauli: Pauli) -> int:
+        """Expectation of a Pauli observable: +1, -1, or 0 (indeterminate)."""
+        if not self.expectation_is_deterministic(pauli):
+            return 0
+        # Measure on a copy; deterministic so the state copy is unchanged.
+        sim = self.copy()
+        outcome = sim.measure_pauli(pauli)
+        return 1 if outcome == 0 else -1
+
+    def stabilizer_generators(self) -> list[Pauli]:
+        """The current stabilizer group generators (with signs)."""
+        n = self.num_qubits
+        gens = []
+        for i in range(n):
+            phase = 2 * int(self.r[n + i])
+            gens.append(Pauli(self.x[n + i].copy(), self.z[n + i].copy(), phase))
+        return gens
+
+    def copy(self) -> "StabilizerSimulator":
+        """An independent copy of the simulator state."""
+        sim = StabilizerSimulator.__new__(StabilizerSimulator)
+        sim.num_qubits = self.num_qubits
+        sim.x = self.x.copy()
+        sim.z = self.z.copy()
+        sim.r = self.r.copy()
+        sim.rng = self.rng
+        return sim

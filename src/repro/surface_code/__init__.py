@@ -1,0 +1,26 @@
+"""Planar surface-code substrate.
+
+Implements the unrotated planar surface code from Fig. 2 of the paper:
+qubit layout, stabilizer map, logical operators, and the code-deformation
+geometry behind the ``op_expand`` instruction (Fig. 5).
+"""
+
+from repro.surface_code.lattice import PlanarSurfaceCode, Site
+from repro.surface_code.stabilizers import Stabilizer, StabilizerMap
+from repro.surface_code.deformation import (
+    DeformationStep,
+    ExpansionPlan,
+    plan_expansion,
+    plan_shrink,
+)
+
+__all__ = [
+    "PlanarSurfaceCode",
+    "Site",
+    "Stabilizer",
+    "StabilizerMap",
+    "DeformationStep",
+    "ExpansionPlan",
+    "plan_expansion",
+    "plan_shrink",
+]

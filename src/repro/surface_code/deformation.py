@@ -1,0 +1,267 @@
+"""Code-deformation geometry for ``op_expand`` (paper Fig. 5).
+
+Expanding a patch from distance ``d`` to ``d_exp`` takes three steps:
+
+1. initialize the unused data qubits adjacent to the patch (``|0>`` when
+   growing along the north-south axis, ``|+>`` when growing east-west);
+2. switch the stabilizer map to the expanded pattern and keep measuring;
+3. (to shrink) measure the extension qubits out in the matching basis and
+   restore the original stabilizer map.
+
+To avoid re-indexing qubits mid-computation we model the patch as embedded
+in the *expanded* code's lattice: the distance-``d`` patch occupies the
+north-west corner of the distance-``d_exp`` grid, and expansion merely
+activates the remaining sites.  This mirrors real hardware, where the
+physical qubits for the expansion are present but unused (white circles in
+Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.stab.pauli import Pauli
+from repro.stab.tableau import StabilizerSimulator
+from repro.surface_code.lattice import PlanarSurfaceCode, Site
+from repro.surface_code.stabilizers import Stabilizer, StabilizerMap
+
+
+def embedded_patch_map(code: PlanarSurfaceCode, patch_distance: int) -> StabilizerMap:
+    """Stabilizer map of a distance-``patch_distance`` sub-patch.
+
+    The sub-patch occupies sites with row and col < ``2*patch_distance - 1``
+    in the north-west corner of ``code``'s grid.
+    """
+    if not 2 <= patch_distance <= code.distance:
+        raise ValueError("patch distance must be within the host code")
+    limit = 2 * patch_distance - 1
+    smap = StabilizerMap()
+    for ancilla in code.z_ancilla_sites + code.x_ancilla_sites:
+        if ancilla.row >= limit or ancilla.col >= limit:
+            continue
+        kind = "Z" if code.is_z_ancilla_site(ancilla) else "X"
+        support = tuple(
+            s for s in ancilla.neighbors()
+            if code.contains(s) and code.is_data_site(s)
+            and s.row < limit and s.col < limit
+        )
+        smap.add(Stabilizer(ancilla, kind, support))
+    return smap
+
+
+def patch_data_sites(code: PlanarSurfaceCode, patch_distance: int) -> list[Site]:
+    """Data sites belonging to the embedded sub-patch."""
+    limit = 2 * patch_distance - 1
+    return [s for s in code.data_sites if s.row < limit and s.col < limit]
+
+
+@dataclass(frozen=True)
+class DeformationStep:
+    """One geometric step of a deformation.
+
+    Attributes:
+        init_plus: data sites to initialize in ``|+>`` before the switch.
+        init_zero: data sites to initialize in ``|0>`` before the switch.
+        measure_x: data sites measured out in the X basis (shrink only).
+        measure_z: data sites measured out in the Z basis (shrink only).
+        new_map: the stabilizer map to measure after this step.
+    """
+
+    init_plus: tuple[Site, ...] = ()
+    init_zero: tuple[Site, ...] = ()
+    measure_x: tuple[Site, ...] = ()
+    measure_z: tuple[Site, ...] = ()
+    new_map: StabilizerMap = field(default_factory=StabilizerMap)
+
+
+@dataclass(frozen=True)
+class ExpansionPlan:
+    """An ordered list of deformation steps, plus bookkeeping.
+
+    ``latency_cycles`` is the architectural latency charged by the control
+    unit: each step needs one round of stabilizer measurements, and the new
+    code must be measured for ``d_exp`` rounds before its extra distance is
+    fully effective.
+    """
+
+    steps: tuple[DeformationStep, ...]
+    from_distance: int
+    to_distance: int
+
+    @property
+    def latency_cycles(self) -> int:
+        return len(self.steps) + self.to_distance
+
+
+def plan_expansion(code: PlanarSurfaceCode, from_distance: int) -> ExpansionPlan:
+    """Plan growing the NW sub-patch of ``from_distance`` to the full code.
+
+    Southward growth extends the logical-X strings (which terminate on the
+    north/south boundaries), so the new qubits are initialized in ``|+>``:
+    the extended logical X then equals the old one times known +1 X's, and
+    logical Z is untouched.  Eastward growth extends the logical-Z strings
+    and initializes in ``|0>`` symmetrically.  Growth is done south-first,
+    then east, each step ending on its intermediate stabilizer map.
+    """
+    d_exp = code.distance
+    if not 2 <= from_distance <= d_exp:
+        raise ValueError("from_distance must be within the host code")
+    if from_distance == d_exp:
+        return ExpansionPlan((), from_distance, d_exp)
+    limit = 2 * from_distance - 1
+    steps: list[DeformationStep] = []
+
+    # Step A: grow south (rows >= limit), keeping cols < limit.
+    south_sites = tuple(
+        s for s in code.data_sites if s.row >= limit and s.col < limit
+    )
+    if south_sites:
+        inter_map = _column_limited_map(code, col_limit=limit)
+        steps.append(DeformationStep(init_plus=south_sites, new_map=inter_map))
+
+    # Step B: grow east (cols >= limit), all rows.
+    east_sites = tuple(s for s in code.data_sites if s.col >= limit)
+    if east_sites:
+        full_map = StabilizerMap.for_code(code)
+        steps.append(DeformationStep(init_zero=east_sites, new_map=full_map))
+
+    return ExpansionPlan(tuple(steps), from_distance, d_exp)
+
+
+def plan_shrink(code: PlanarSurfaceCode, to_distance: int) -> ExpansionPlan:
+    """Plan shrinking the full code back to its NW sub-patch.
+
+    Extension qubits are measured out in the basis matching how they were
+    introduced (Fig. 5 step 3): east extension in Z, south extension in X.
+    """
+    if not 2 <= to_distance <= code.distance:
+        raise ValueError("to_distance must be within the host code")
+    if to_distance == code.distance:
+        return ExpansionPlan((), code.distance, to_distance)
+    limit = 2 * to_distance - 1
+    east_sites = tuple(s for s in code.data_sites if s.col >= limit)
+    south_sites = tuple(
+        s for s in code.data_sites if s.row >= limit and s.col < limit
+    )
+    steps: list[DeformationStep] = []
+    if east_sites:
+        steps.append(DeformationStep(
+            measure_z=east_sites,
+            new_map=_column_limited_map(code, col_limit=limit),
+        ))
+    if south_sites:
+        steps.append(DeformationStep(
+            measure_x=south_sites,
+            new_map=embedded_patch_map(code, to_distance),
+        ))
+    return ExpansionPlan(tuple(steps), code.distance, to_distance)
+
+
+def _column_limited_map(code: PlanarSurfaceCode, col_limit: int) -> StabilizerMap:
+    """Stabilizer map of the tall patch spanning all rows, cols < limit."""
+    smap = StabilizerMap()
+    for ancilla in code.z_ancilla_sites + code.x_ancilla_sites:
+        if ancilla.col >= col_limit:
+            continue
+        kind = "Z" if code.is_z_ancilla_site(ancilla) else "X"
+        support = tuple(
+            s for s in ancilla.neighbors()
+            if code.contains(s) and code.is_data_site(s) and s.col < col_limit
+        )
+        smap.add(Stabilizer(ancilla, kind, support))
+    return smap
+
+
+# ----------------------------------------------------------------------
+# Execution on the stabilizer simulator (verification substrate)
+# ----------------------------------------------------------------------
+def stabilizer_pauli(code: PlanarSurfaceCode, stab: Stabilizer) -> Pauli:
+    """A StabilizerMap entry as a Pauli on the code's data qubits."""
+    pauli = Pauli.identity(code.num_data_qubits)
+    for site in stab.support:
+        q = code.data_index(site)
+        if stab.kind == "Z":
+            pauli.z[q] = 1
+        else:
+            pauli.x[q] = 1
+    return pauli
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Measurement record of one executed deformation step.
+
+    ``stabilizer_outcomes`` seed the syndrome history of the new map;
+    ``data_outcomes`` (shrink only) feed the Pauli-frame correction: e.g.
+    after an east shrink, the patch logical Z equals the pre-shrink
+    logical Z times the parity of the Z outcomes of the removed row-0
+    data qubits.
+    """
+
+    stabilizer_outcomes: dict[Site, int]
+    data_outcomes: dict[Site, int]
+
+    def data_parity(self, sites: "tuple[Site, ...] | list[Site]") -> int:
+        """Parity of the recorded outcomes over the given sites."""
+        parity = 0
+        for site in sites:
+            parity ^= self.data_outcomes[site]
+        return parity
+
+
+def execute_plan(
+    sim: StabilizerSimulator,
+    code: PlanarSurfaceCode,
+    plan: ExpansionPlan,
+) -> list[StepRecord]:
+    """Run a deformation plan on a tableau simulator.
+
+    ``sim`` must act on exactly ``code.num_data_qubits`` qubits (ancillas
+    are implicit: stabilizer measurements are executed as direct Pauli
+    measurements).  Returns one :class:`StepRecord` per step -- the
+    measurement record that the Pauli frame would consume.
+    """
+    if sim.num_qubits != code.num_data_qubits:
+        raise ValueError("simulator size must match the code's data qubits")
+    records: list[StepRecord] = []
+    for step in plan.steps:
+        data_outcomes: dict[Site, int] = {}
+        for site in step.init_zero:
+            # Reset to |0>: measure Z and flip if needed.
+            q = code.data_index(site)
+            if sim.measure_z(q) == 1:
+                sim.x_gate(q)
+        for site in step.init_plus:
+            q = code.data_index(site)
+            if sim.measure_z(q) == 1:
+                sim.x_gate(q)
+            sim.h(q)
+        for site in step.measure_z:
+            data_outcomes[site] = sim.measure_z(code.data_index(site))
+        for site in step.measure_x:
+            data_outcomes[site] = sim.measure_x(code.data_index(site))
+        stab_outcomes: dict[Site, int] = {}
+        for stab in step.new_map.stabilizers.values():
+            stab_outcomes[stab.ancilla] = sim.measure_pauli(
+                stabilizer_pauli(code, stab))
+        records.append(StepRecord(stab_outcomes, data_outcomes))
+    return records
+
+
+def encode_logical_zero(
+    sim: StabilizerSimulator,
+    code: PlanarSurfaceCode,
+    smap: StabilizerMap,
+) -> dict[Site, int]:
+    """Project ``|0...0>`` into the +1 logical-Z code space of ``smap``.
+
+    Measures every stabilizer in the map; X-type outcomes are random and
+    are *corrected* by applying Z chains is unnecessary for our purposes --
+    instead we record outcomes so observables can be interpreted relative
+    to the frame.  Z-type stabilizers are already satisfied on ``|0...0>``.
+    Returns the outcome record.
+    """
+    outcomes: dict[Site, int] = {}
+    for stab in smap.stabilizers.values():
+        outcomes[stab.ancilla] = sim.measure_pauli(stabilizer_pauli(code, stab))
+    return outcomes

@@ -1,0 +1,194 @@
+"""Planar surface-code lattice layout.
+
+The distance-``d`` planar (unrotated) surface code lives on a
+``(2d-1) x (2d-1)`` grid of *sites*:
+
+* data qubits at sites with both coordinates even, or both odd
+  (``d**2 + (d-1)**2`` of them);
+* Z-type ancillas (plaquettes) at sites with odd row, even column
+  (``(d-1) * d`` of them) -- these detect X errors;
+* X-type ancillas (vertices) at sites with even row, odd column
+  (``d * (d-1)`` of them) -- these detect Z errors.
+
+With this orientation the Z-ancilla (X-error) decoding graph is a
+``(d-1)``-row by ``d``-column grid whose boundary edges exit through the
+north (site row 0) and south (site row ``2d-2``) code boundaries, and the
+X-ancilla graph is its transpose with west/east boundaries.  The logical X
+operator is a north-south column of X's; the logical Z operator is a
+west-east row of Z's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.stab.pauli import Pauli
+
+
+@dataclass(frozen=True, order=True)
+class Site:
+    """A lattice site, addressed as (row, col) on the (2d-1)^2 grid."""
+
+    row: int
+    col: int
+
+    def neighbors(self) -> list["Site"]:
+        """The four nearest-neighbor sites (may fall outside the lattice)."""
+        return [
+            Site(self.row - 1, self.col),
+            Site(self.row + 1, self.col),
+            Site(self.row, self.col - 1),
+            Site(self.row, self.col + 1),
+        ]
+
+
+class PlanarSurfaceCode:
+    """A distance-``d`` planar surface code patch.
+
+    Attributes:
+        distance: the code distance ``d`` (any integer >= 2).
+        data_sites: ordered list of data-qubit sites; the position in this
+            list is the qubit's index for Pauli operators.
+    """
+
+    def __init__(self, distance: int):
+        if distance < 2:
+            raise ValueError("code distance must be at least 2")
+        self.distance = distance
+        self.grid_size = 2 * distance - 1
+        self.data_sites: list[Site] = sorted(
+            site for site in self._all_sites() if self.is_data_site(site)
+        )
+        self._data_index = {site: i for i, site in enumerate(self.data_sites)}
+        self.z_ancilla_sites: list[Site] = sorted(
+            site for site in self._all_sites() if self.is_z_ancilla_site(site)
+        )
+        self.x_ancilla_sites: list[Site] = sorted(
+            site for site in self._all_sites() if self.is_x_ancilla_site(site)
+        )
+
+    # ------------------------------------------------------------------
+    # Site classification
+    # ------------------------------------------------------------------
+    def _all_sites(self) -> Iterator[Site]:
+        for r in range(self.grid_size):
+            for c in range(self.grid_size):
+                yield Site(r, c)
+
+    def contains(self, site: Site) -> bool:
+        """True iff the site lies on the (2d-1)^2 grid."""
+        return (0 <= site.row < self.grid_size
+                and 0 <= site.col < self.grid_size)
+
+    @staticmethod
+    def is_data_site(site: Site) -> bool:
+        """Data qubits sit where row and column have equal parity."""
+        return site.row % 2 == site.col % 2
+
+    @staticmethod
+    def is_z_ancilla_site(site: Site) -> bool:
+        """Z ancillas (plaquettes, detect X errors) sit at (odd, even)."""
+        return site.row % 2 == 1 and site.col % 2 == 0
+
+    @staticmethod
+    def is_x_ancilla_site(site: Site) -> bool:
+        """X ancillas (vertices, detect Z errors) sit at (even, odd)."""
+        return site.row % 2 == 0 and site.col % 2 == 1
+
+    # ------------------------------------------------------------------
+    # Counts
+    # ------------------------------------------------------------------
+    @property
+    def num_data_qubits(self) -> int:
+        return len(self.data_sites)
+
+    @property
+    def num_z_stabilizers(self) -> int:
+        return len(self.z_ancilla_sites)
+
+    @property
+    def num_x_stabilizers(self) -> int:
+        return len(self.x_ancilla_sites)
+
+    @property
+    def num_physical_qubits(self) -> int:
+        """Data plus ancilla qubits on the patch."""
+        return (self.num_data_qubits + self.num_z_stabilizers
+                + self.num_x_stabilizers)
+
+    def data_index(self, site: Site) -> int:
+        """Index of a data qubit in the canonical ordering."""
+        return self._data_index[site]
+
+    # ------------------------------------------------------------------
+    # Stabilizer supports
+    # ------------------------------------------------------------------
+    def stabilizer_support(self, ancilla: Site) -> list[int]:
+        """Data-qubit indices monitored by the given ancilla site."""
+        if not (self.is_z_ancilla_site(ancilla)
+                or self.is_x_ancilla_site(ancilla)):
+            raise ValueError(f"{ancilla} is not an ancilla site")
+        return [
+            self._data_index[s]
+            for s in ancilla.neighbors()
+            if self.contains(s) and self.is_data_site(s)
+        ]
+
+    def z_stabilizer_paulis(self) -> list[Pauli]:
+        """All Z-plaquette stabilizers as Pauli operators on data qubits."""
+        return [self._stabilizer_pauli(a, "Z") for a in self.z_ancilla_sites]
+
+    def x_stabilizer_paulis(self) -> list[Pauli]:
+        """All X-vertex stabilizers as Pauli operators on data qubits."""
+        return [self._stabilizer_pauli(a, "X") for a in self.x_ancilla_sites]
+
+    def _stabilizer_pauli(self, ancilla: Site, kind: str) -> Pauli:
+        pauli = Pauli.identity(self.num_data_qubits)
+        for q in self.stabilizer_support(ancilla):
+            if kind == "Z":
+                pauli.z[q] = 1
+            else:
+                pauli.x[q] = 1
+        return pauli
+
+    # ------------------------------------------------------------------
+    # Logical operators
+    # ------------------------------------------------------------------
+    def logical_x(self, column: int = 0) -> Pauli:
+        """Logical X: a north-south column of X on data sites (2k, 2*column)."""
+        if not 0 <= column < self.distance:
+            raise ValueError("column out of range")
+        pauli = Pauli.identity(self.num_data_qubits)
+        for k in range(self.distance):
+            pauli.x[self._data_index[Site(2 * k, 2 * column)]] = 1
+        return pauli
+
+    def logical_z(self, row: int = 0) -> Pauli:
+        """Logical Z: a west-east row of Z on data sites (2*row, 2k)."""
+        if not 0 <= row < self.distance:
+            raise ValueError("row out of range")
+        pauli = Pauli.identity(self.num_data_qubits)
+        for k in range(self.distance):
+            pauli.z[self._data_index[Site(2 * row, 2 * k)]] = 1
+        return pauli
+
+    # ------------------------------------------------------------------
+    # Decoding-lattice correspondence
+    # ------------------------------------------------------------------
+    def z_node_coords(self, ancilla: Site) -> tuple[int, int]:
+        """Map a Z-ancilla site to (row, col) on the (d-1) x d Z-lattice."""
+        if not self.is_z_ancilla_site(ancilla):
+            raise ValueError(f"{ancilla} is not a Z-ancilla site")
+        return (ancilla.row - 1) // 2, ancilla.col // 2
+
+    def x_node_coords(self, ancilla: Site) -> tuple[int, int]:
+        """Map an X-ancilla site to (row, col) on the d x (d-1) X-lattice."""
+        if not self.is_x_ancilla_site(ancilla):
+            raise ValueError(f"{ancilla} is not an X-ancilla site")
+        return ancilla.row // 2, (ancilla.col - 1) // 2
+
+    def __repr__(self) -> str:
+        return (f"PlanarSurfaceCode(distance={self.distance}, "
+                f"data={self.num_data_qubits}, "
+                f"stabilizers={self.num_z_stabilizers}+{self.num_x_stabilizers})")

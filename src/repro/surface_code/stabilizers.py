@@ -1,0 +1,103 @@
+"""Stabilizer map: the control unit's record of which stabilizers are live.
+
+The paper's ``stabilizer assignment unit`` arbitrates logical operations by
+consulting a ``stabilizer map`` (Fig. 1): a table recording, for each
+ancilla on the qubit plane, whether it is actively measuring a stabilizer
+and which data qubits it monitors.  ``op_expand`` dynamically rewrites this
+table; so do logical operations such as lattice surgery.
+
+This module keeps the map as a plain, explicit data structure so the
+architecture layer can mutate and snapshot it cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.surface_code.lattice import PlanarSurfaceCode, Site
+
+
+@dataclass(frozen=True)
+class Stabilizer:
+    """A single stabilizer measurement: an ancilla and its data support."""
+
+    ancilla: Site
+    kind: str  # "Z" or "X"
+    support: tuple[Site, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("Z", "X"):
+            raise ValueError("stabilizer kind must be 'Z' or 'X'")
+        if not 1 <= len(self.support) <= 4:
+            raise ValueError("planar-code stabilizers have weight 1..4")
+
+
+@dataclass
+class StabilizerMap:
+    """The set of stabilizers currently being measured on a patch.
+
+    The map can be snapshotted (for the instruction history buffer) and
+    mutated in place (for ``op_expand`` / shrink), mirroring the paper's
+    ``stabilizer map`` component.
+    """
+
+    stabilizers: dict[Site, Stabilizer] = field(default_factory=dict)
+
+    @classmethod
+    def for_code(cls, code: PlanarSurfaceCode) -> "StabilizerMap":
+        """The default map measuring every stabilizer of a static patch."""
+        smap = cls()
+        for ancilla in code.z_ancilla_sites:
+            smap.add(Stabilizer(
+                ancilla, "Z",
+                tuple(s for s in ancilla.neighbors()
+                      if code.contains(s) and code.is_data_site(s)),
+            ))
+        for ancilla in code.x_ancilla_sites:
+            smap.add(Stabilizer(
+                ancilla, "X",
+                tuple(s for s in ancilla.neighbors()
+                      if code.contains(s) and code.is_data_site(s)),
+            ))
+        return smap
+
+    # ------------------------------------------------------------------
+    def add(self, stabilizer: Stabilizer) -> None:
+        """Register a stabilizer; replaces any previous one at the ancilla."""
+        self.stabilizers[stabilizer.ancilla] = stabilizer
+
+    def remove(self, ancilla: Site) -> Optional[Stabilizer]:
+        """Stop measuring at the ancilla; returns the removed stabilizer."""
+        return self.stabilizers.pop(ancilla, None)
+
+    def get(self, ancilla: Site) -> Optional[Stabilizer]:
+        return self.stabilizers.get(ancilla)
+
+    def __len__(self) -> int:
+        return len(self.stabilizers)
+
+    def __contains__(self, ancilla: Site) -> bool:
+        return ancilla in self.stabilizers
+
+    def of_kind(self, kind: str) -> list[Stabilizer]:
+        """All live stabilizers of the given kind, in site order."""
+        return sorted(
+            (s for s in self.stabilizers.values() if s.kind == kind),
+            key=lambda s: s.ancilla,
+        )
+
+    def data_sites(self) -> set[Site]:
+        """All data sites currently covered by at least one stabilizer."""
+        covered: set[Site] = set()
+        for stab in self.stabilizers.values():
+            covered.update(stab.support)
+        return covered
+
+    def snapshot(self) -> "StabilizerMap":
+        """An independent copy (stabilizers are immutable, so shallow)."""
+        return StabilizerMap(dict(self.stabilizers))
+
+    def update_many(self, stabilizers: Iterable[Stabilizer]) -> None:
+        for stab in stabilizers:
+            self.add(stab)

@@ -1,0 +1,14 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+def make_rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)

@@ -1,0 +1,123 @@
+"""Tests for the analytic models: Eq. (1), first-order cases, Eq. (4)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.effective_rate import (
+    effective_logical_error_rate,
+    mbbe_increase_ratio,
+)
+from repro.analysis.firstorder import (
+    effective_distance_reduction,
+    min_normal_flips,
+    predicted_reduction,
+    reduction_standard_error,
+)
+
+
+class TestEffectiveRate:
+    def test_eq1_formula(self):
+        rate = effective_logical_error_rate(1e-8, 1e-4, 1.0, 25e-3)
+        assert rate == pytest.approx(0.975e-8 + 0.025e-4)
+
+    def test_paper_motivation_100x(self):
+        """Sec. III: the MBBE term raises the effective rate ~100x."""
+        p_l = 1e-9
+        p_l_ano = 4e-6  # d=21-ish under an anomaly
+        ratio = mbbe_increase_ratio(p_l, p_l_ano, frequency_hz=1.0,
+                                    lifetime_s=25e-3)
+        assert 10 < ratio < 1000
+
+    def test_no_rays_leaves_rate(self):
+        assert effective_logical_error_rate(1e-8, 1.0, 0.0, 25e-3) == 1e-8
+
+    def test_invalid_duty_rejected(self):
+        with pytest.raises(ValueError):
+            effective_logical_error_rate(1e-8, 1e-4, 100.0, 1.0)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            effective_logical_error_rate(2.0, 0.5, 1.0, 1e-3)
+        with pytest.raises(ValueError):
+            mbbe_increase_ratio(0.0, 0.5, 1.0, 1e-3)
+
+    @given(st.floats(1e-12, 1e-2), st.floats(1e-12, 1e-2),
+           st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    def test_rate_between_components(self, p_l, p_l_ano, f, tau):
+        if f * tau > 1.0:
+            return
+        rate = effective_logical_error_rate(p_l, p_l_ano, f, tau)
+        eps = 1e-12
+        assert min(p_l, p_l_ano) - eps <= rate <= max(p_l, p_l_ano) + eps
+
+
+class TestFirstOrderCases:
+    def test_case1_no_anomaly(self):
+        assert min_normal_flips(21) == 11
+
+    def test_case2_naive_decoding(self):
+        assert min_normal_flips(21, 4) == 7  # 11 - 4
+
+    def test_case3_informed_decoding(self):
+        assert min_normal_flips(21, 4, informed=True) == 9  # (17//2)+1
+
+    def test_informed_at_least_naive(self):
+        for d in (9, 15, 21):
+            for d_ano in (1, 2, 3, 4):
+                assert (min_normal_flips(d, d_ano, informed=True)
+                        >= min_normal_flips(d, d_ano))
+
+    def test_floor_at_one(self):
+        assert min_normal_flips(5, 10) == 1
+
+    def test_predicted_reductions(self):
+        assert predicted_reduction(4, informed=False) == 8
+        assert predicted_reduction(4, informed=True) == 4
+
+    def test_reduction_consistent_with_flip_counts(self):
+        """2 * (flips_without - flips_with_anomaly) = distance reduction."""
+        d = 21
+        for d_ano in (1, 2, 3, 4):
+            naive_loss = 2 * (min_normal_flips(d)
+                              - min_normal_flips(d, d_ano))
+            assert naive_loss == predicted_reduction(d_ano, informed=False)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            min_normal_flips(1)
+        with pytest.raises(ValueError):
+            min_normal_flips(5, -1)
+
+
+class TestEq4:
+    def test_round_trip_with_synthetic_scaling(self):
+        """Feed Eq. (4) rates from the ideal scaling law; recover 2 d_ano."""
+        p_over_pth = 0.2
+        d, d_ano = 21, 3
+
+        def p_l(d_eff):
+            return 0.1 * p_over_pth ** (d_eff // 2 + 1)
+
+        reduction = effective_distance_reduction(
+            p_l_ano=p_l(d - 2 * d_ano), p_l=p_l(d), p_l_minus2=p_l(d - 2))
+        assert reduction == pytest.approx(2 * d_ano, abs=0.01)
+
+    def test_zero_reduction_when_rates_equal(self):
+        assert effective_distance_reduction(1e-5, 1e-5, 1e-4) == 0.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            effective_distance_reduction(0.0, 1e-5, 1e-4)
+
+    def test_rejects_flat_scaling(self):
+        with pytest.raises(ValueError):
+            effective_distance_reduction(1e-3, 1e-5, 1e-5)
+
+    def test_standard_error_positive_and_scales(self):
+        se_small = reduction_standard_error(
+            1e-3, 1e-5, 1e-5, 1e-7, 1e-4, 1e-6)
+        se_large = reduction_standard_error(
+            1e-3, 5e-4, 1e-5, 5e-6, 1e-4, 5e-5)
+        assert 0 < se_small < se_large

@@ -1,0 +1,143 @@
+"""Tests for the anomaly detection unit (Sec. IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.anomaly import AnomalyDetectionUnit
+from repro.core.statistics import SyndromeStatistics
+
+
+def unit(shape=(8, 9), mu=0.01, c_win=100, n_th=5, alpha=0.01,
+         mask_cycles=1000):
+    stats = SyndromeStatistics.from_activity_rate(mu)
+    return AnomalyDetectionUnit(shape, stats, c_win, n_th, alpha,
+                                mask_cycles)
+
+
+def stream(u, layers):
+    events = []
+    for layer in layers:
+        evt = u.observe(layer)
+        if evt is not None:
+            events.append(evt)
+    return events
+
+
+class TestCounters:
+    def test_counts_track_sliding_window(self):
+        u = unit(c_win=3)
+        layer = np.ones((8, 9), dtype=int)
+        zero = np.zeros((8, 9), dtype=int)
+        u.observe(layer)
+        u.observe(layer)
+        u.observe(zero)
+        assert u.counts[0, 0] == 2
+        u.observe(zero)
+        assert u.counts[0, 0] == 1  # first ones layer slid out
+        u.observe(zero)
+        assert u.counts[0, 0] == 0
+
+    def test_no_detection_before_window_fills(self):
+        u = unit(c_win=50, n_th=1)
+        hot = np.ones((8, 9), dtype=int)
+        for _ in range(49):
+            assert u.observe(hot) is None
+
+    def test_shape_mismatch_rejected(self):
+        u = unit()
+        with pytest.raises(ValueError):
+            u.observe(np.zeros((3, 3)))
+
+    def test_invalid_nth_rejected(self):
+        with pytest.raises(ValueError):
+            unit(n_th=0)
+
+    def test_reset_clears_state(self):
+        u = unit(c_win=5)
+        for _ in range(5):
+            u.observe(np.ones((8, 9), dtype=int))
+        u.reset()
+        assert u.cycle == -1
+        assert not u.window_filled
+        assert u.counts.sum() == 0
+
+
+class TestDetection:
+    def _noisy_layers(self, rng, cycles, hot_box=None, mu=0.01,
+                      hot_rate=0.4):
+        layers = rng.random((cycles, 8, 9)) < mu
+        layers = layers.astype(int)
+        if hot_box is not None:
+            r0, c0, size = hot_box
+            hot = rng.random((cycles, size, size)) < hot_rate
+            layers[:, r0:r0 + size, c0:c0 + size] = hot.astype(int)
+        return layers
+
+    def test_detects_hot_region(self):
+        rng = np.random.default_rng(0)
+        u = unit(c_win=100, n_th=5)
+        quiet = self._noisy_layers(rng, 100)
+        hot = self._noisy_layers(rng, 200, hot_box=(2, 3, 3))
+        events = stream(u, np.concatenate([quiet, hot]))
+        assert events
+        evt = events[0]
+        assert 2 <= evt.row <= 4
+        assert 3 <= evt.col <= 5
+
+    def test_detection_latency_reasonable(self):
+        rng = np.random.default_rng(1)
+        u = unit(c_win=100, n_th=5)
+        quiet = self._noisy_layers(rng, 100)
+        hot = self._noisy_layers(rng, 300, hot_box=(2, 3, 3))
+        events = stream(u, np.concatenate([quiet, hot]))
+        assert events[0].cycle - 100 < 150
+
+    def test_no_false_positives_on_quiet_stream(self):
+        rng = np.random.default_rng(2)
+        u = unit(c_win=100, n_th=5, alpha=0.001)
+        layers = self._noisy_layers(rng, 2000)
+        assert stream(u, layers) == []
+
+    def test_onset_estimate_one_window_back(self):
+        rng = np.random.default_rng(3)
+        u = unit(c_win=100, n_th=5)
+        quiet = self._noisy_layers(rng, 150)
+        hot = self._noisy_layers(rng, 200, hot_box=(2, 3, 3))
+        evt = stream(u, np.concatenate([quiet, hot]))[0]
+        assert evt.onset_estimate == evt.cycle - 100
+
+    def test_masking_suppresses_repeat_detections(self):
+        rng = np.random.default_rng(4)
+        u = unit(c_win=100, n_th=5, mask_cycles=10_000)
+        quiet = self._noisy_layers(rng, 100)
+        hot = self._noisy_layers(rng, 600, hot_box=(2, 3, 3))
+        events = stream(u, np.concatenate([quiet, hot]))
+        assert len(events) == 1
+
+    def test_second_anomaly_detected_elsewhere_while_masked(self):
+        rng = np.random.default_rng(5)
+        u = unit(c_win=100, n_th=5, mask_cycles=100_000)
+        quiet = self._noisy_layers(rng, 100)
+        first = self._noisy_layers(rng, 300, hot_box=(0, 0, 3))
+        both = self._noisy_layers(rng, 300, hot_box=(0, 0, 3))
+        both[:, 5:8, 5:8] = (rng.random((300, 3, 3)) < 0.4).astype(int)
+        events = stream(u, np.concatenate([quiet, first, both]))
+        assert len(events) >= 2
+        second = events[1]
+        assert second.row >= 4 and second.col >= 4
+
+    def test_num_flagged_reported(self):
+        rng = np.random.default_rng(6)
+        u = unit(c_win=100, n_th=5)
+        quiet = self._noisy_layers(rng, 100)
+        hot = self._noisy_layers(rng, 300, hot_box=(2, 3, 3))
+        evt = stream(u, np.concatenate([quiet, hot]))[0]
+        assert evt.num_flagged > 5
+
+
+class TestMemory:
+    def test_counter_memory_formula(self):
+        u = unit(shape=(30, 31), c_win=300)
+        bits = u.memory_bits()
+        # 2 * 930 counters * ceil(log2(301)) = 2 * 930 * 9
+        assert bits == 2 * 930 * 9

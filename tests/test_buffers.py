@@ -1,0 +1,143 @@
+"""Tests for rollback-capable control-unit buffers (Sec. VI-C)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.buffers import (
+    HistoryEntry,
+    InstructionHistoryBuffer,
+    MatchBatch,
+    MatchingQueue,
+    MatchRecord,
+    SyndromeQueue,
+    optimal_batch_cycles,
+)
+
+
+class TestOptimalBatch:
+    def test_sqrt_rule(self):
+        assert optimal_batch_cycles(300) == round((600) ** 0.5)
+
+    def test_minimum_one(self):
+        assert optimal_batch_cycles(1) >= 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            optimal_batch_cycles(0)
+
+
+class TestSyndromeQueue:
+    def _layer(self, fill=0):
+        return np.full((4, 5), fill, dtype=np.uint8)
+
+    def test_push_and_retention(self):
+        q = SyndromeQueue((4, 5), window=3)
+        for t in range(5):
+            q.push(t, self._layer(t % 2))
+        assert len(q) == 3
+        assert q.oldest_cycle() == 2
+        assert q.latest_cycle() == 4
+
+    def test_out_of_order_push_rejected(self):
+        q = SyndromeQueue((4, 5), window=3)
+        q.push(0, self._layer())
+        with pytest.raises(ValueError):
+            q.push(2, self._layer())
+
+    def test_shape_mismatch_rejected(self):
+        q = SyndromeQueue((4, 5), window=3)
+        with pytest.raises(ValueError):
+            q.push(0, np.zeros((3, 3), dtype=np.uint8))
+
+    def test_matched_layers_are_retained(self):
+        q = SyndromeQueue((4, 5), window=4)
+        for t in range(4):
+            q.push(t, self._layer())
+        q.mark_matched(1)
+        assert len(q.layers_since(0)) == 4
+        recs = {r.cycle: r.matched for r in q.layers_since(0)}
+        assert recs[1] is True and recs[2] is False
+
+    def test_mark_unknown_cycle_raises(self):
+        q = SyndromeQueue((4, 5), window=2)
+        q.push(0, self._layer())
+        with pytest.raises(KeyError):
+            q.mark_matched(5)
+
+    def test_layers_since_filters(self):
+        q = SyndromeQueue((4, 5), window=10)
+        for t in range(6):
+            q.push(t, self._layer(t % 2))
+        assert [r.cycle for r in q.layers_since(3)] == [3, 4, 5]
+
+    def test_memory_bits(self):
+        q = SyndromeQueue((30, 31), window=300 + 24)
+        assert q.memory_bits() == 2 * 930 * 324
+
+
+class TestMatchingQueue:
+    def test_batches_close_at_cbat(self):
+        q = MatchingQueue(c_win=50, c_bat=10)
+        for t in range(25):
+            q.record(MatchRecord(t, cut_parity=0, num_matches=1))
+        assert len(q) == 3  # two closed batches + one open
+
+    def test_cut_parity_accumulates_per_batch(self):
+        q = MatchingQueue(c_win=50, c_bat=10)
+        q.record(MatchRecord(0, cut_parity=1, num_matches=1))
+        q.record(MatchRecord(1, cut_parity=1, num_matches=1))
+        q.record(MatchRecord(2, cut_parity=1, num_matches=1))
+        assert q.total_cut_parity() == 1
+
+    def test_rollback_drops_touched_batches(self):
+        q = MatchingQueue(c_win=100, c_bat=10)
+        for t in range(35):
+            q.record(MatchRecord(t, cut_parity=0, num_matches=1))
+        dropped = q.rollback_to(15)
+        # Batches starting at 10, 20, 30 all touch cycles >= 15.
+        assert [b.start_cycle for b in dropped] == [10, 20, 30]
+        assert len(q) == 1
+
+    def test_rollback_respects_batch_granularity(self):
+        q = MatchingQueue(c_win=100, c_bat=10)
+        for t in range(20):
+            q.record(MatchRecord(t, cut_parity=0, num_matches=1))
+        dropped = q.rollback_to(19)
+        assert [b.start_cycle for b in dropped] == [10]
+
+    def test_capacity_bounded_by_window(self):
+        q = MatchingQueue(c_win=50, c_bat=10)
+        for t in range(500):
+            q.record(MatchRecord(t, cut_parity=0, num_matches=1))
+        assert len(q) <= 50 // 10 + 1
+
+    def test_default_batch_is_optimal(self):
+        q = MatchingQueue(c_win=300)
+        assert q.c_bat == optimal_batch_cycles(300)
+
+    def test_memory_bits(self):
+        q = MatchingQueue(c_win=300)
+        import math
+        expected = 2 * 930 * math.ceil(300 / q.c_bat)
+        assert q.memory_bits(930) == expected
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            MatchingQueue(c_win=10, c_bat=0)
+
+
+class TestHistoryBuffer:
+    def test_records_and_filters(self):
+        buf = InstructionHistoryBuffer()
+        for t in (3, 7, 11):
+            buf.record(HistoryEntry(t, instruction_uid=t, qubit=0,
+                                    swapped_xz=False))
+        assert len(buf) == 3
+        assert [e.cycle for e in buf.entries_since(7)] == [7, 11]
+
+    def test_capacity_bound(self):
+        buf = InstructionHistoryBuffer(capacity=5)
+        for t in range(10):
+            buf.record(HistoryEntry(t, t, 0, False))
+        assert len(buf) == 5
+        assert buf.entries_since(0)[0].cycle == 5

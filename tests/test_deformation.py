@@ -1,0 +1,209 @@
+"""Tests for code deformation: op_expand geometry and state preservation."""
+
+import numpy as np
+import pytest
+
+from repro.stab.tableau import StabilizerSimulator
+from repro.surface_code import PlanarSurfaceCode
+from repro.surface_code.deformation import (
+    embedded_patch_map,
+    encode_logical_zero,
+    execute_plan,
+    patch_data_sites,
+    plan_expansion,
+    plan_shrink,
+    stabilizer_pauli,
+)
+
+
+@pytest.fixture
+def host():
+    """A distance-4 host code with a distance-2 NW sub-patch."""
+    return PlanarSurfaceCode(4)
+
+
+class TestEmbeddedPatch:
+    def test_patch_map_counts(self, host):
+        smap = embedded_patch_map(host, 2)
+        small = PlanarSurfaceCode(2)
+        assert len(smap) == (small.num_z_stabilizers
+                             + small.num_x_stabilizers)
+
+    def test_patch_data_sites_counts(self, host):
+        sites = patch_data_sites(host, 2)
+        assert len(sites) == PlanarSurfaceCode(2).num_data_qubits
+
+    def test_patch_stabilizers_commute(self, host):
+        smap = embedded_patch_map(host, 3)
+        paulis = [stabilizer_pauli(host, s) for s in smap.stabilizers.values()]
+        for i in range(len(paulis)):
+            for j in range(i + 1, len(paulis)):
+                assert paulis[i].commutes_with(paulis[j])
+
+    def test_full_patch_is_whole_code(self, host):
+        smap = embedded_patch_map(host, 4)
+        assert len(smap) == host.num_z_stabilizers + host.num_x_stabilizers
+
+    def test_invalid_patch_sizes_rejected(self, host):
+        with pytest.raises(ValueError):
+            embedded_patch_map(host, 1)
+        with pytest.raises(ValueError):
+            embedded_patch_map(host, 5)
+
+
+class TestPlans:
+    def test_expansion_noop_when_already_full(self, host):
+        plan = plan_expansion(host, 4)
+        assert plan.steps == ()
+
+    def test_expansion_initializes_every_new_qubit_once(self, host):
+        plan = plan_expansion(host, 2)
+        initialized = []
+        for step in plan.steps:
+            initialized.extend(step.init_zero)
+            initialized.extend(step.init_plus)
+        patch = set(patch_data_sites(host, 2))
+        expected = [s for s in host.data_sites if s not in patch]
+        assert sorted(initialized) == sorted(expected)
+        assert len(initialized) == len(set(initialized))
+
+    def test_expansion_south_uses_plus_east_uses_zero(self, host):
+        plan = plan_expansion(host, 2)
+        limit = 3  # 2*2 - 1
+        south, east = plan.steps
+        assert all(s.row >= limit and s.col < limit for s in south.init_plus)
+        assert not south.init_zero
+        assert all(s.col >= limit for s in east.init_zero)
+        assert not east.init_plus
+
+    def test_expansion_latency_scales_with_target(self, host):
+        plan = plan_expansion(host, 2)
+        assert plan.latency_cycles == len(plan.steps) + 4
+
+    def test_shrink_measures_out_every_extension_qubit(self, host):
+        plan = plan_shrink(host, 2)
+        measured = []
+        for step in plan.steps:
+            measured.extend(step.measure_x)
+            measured.extend(step.measure_z)
+        patch = set(patch_data_sites(host, 2))
+        expected = [s for s in host.data_sites if s not in patch]
+        assert sorted(measured) == sorted(expected)
+
+    def test_shrink_noop_at_same_distance(self, host):
+        assert plan_shrink(host, 4).steps == ()
+
+    def test_final_map_of_expansion_is_full_code(self, host):
+        plan = plan_expansion(host, 2)
+        final = plan.steps[-1].new_map
+        assert len(final) == host.num_z_stabilizers + host.num_x_stabilizers
+
+
+class TestStatePreservation:
+    """op_expand / shrink must preserve the encoded logical state."""
+
+    def _encode_patch_zero(self, host, d_patch, seed):
+        sim = StabilizerSimulator(host.num_data_qubits,
+                                  rng=np.random.default_rng(seed))
+        smap = embedded_patch_map(host, d_patch)
+        encode_logical_zero(sim, host, smap)
+        return sim
+
+    def _patch_logical_z(self, host, d_patch):
+        """Logical Z of the sub-patch: Z along its north row."""
+        from repro.stab.pauli import Pauli
+        from repro.surface_code.lattice import Site
+        pauli = Pauli.identity(host.num_data_qubits)
+        for k in range(d_patch):
+            pauli.z[host.data_index(Site(0, 2 * k))] = 1
+        return pauli
+
+    def test_expansion_preserves_logical_zero(self, host):
+        for seed in range(4):
+            sim = self._encode_patch_zero(host, 2, seed)
+            plan = plan_expansion(host, 2)
+            execute_plan(sim, host, plan)
+            # After expansion the state is a full-code logical Z
+            # eigenstate: the host's logical Z is deterministic +1.
+            assert sim.expectation(host.logical_z()) == 1
+
+    def test_expansion_preserves_logical_one(self, host):
+        from repro.surface_code.lattice import Site
+        from repro.stab.pauli import Pauli
+        for seed in range(4):
+            sim = self._encode_patch_zero(host, 2, seed)
+            # Patch logical X: X down column 0 of the sub-patch.
+            lx = Pauli.identity(host.num_data_qubits)
+            for k in range(2):
+                lx.x[host.data_index(Site(2 * k, 0))] = 1
+            sim.apply_pauli(lx)
+            plan = plan_expansion(host, 2)
+            execute_plan(sim, host, plan)
+            assert sim.expectation(host.logical_z()) == -1
+
+    def test_expansion_makes_all_full_code_stabilizers_deterministic(
+            self, host):
+        sim = self._encode_patch_zero(host, 2, seed=9)
+        execute_plan(sim, host, plan_expansion(host, 2))
+        for stab in host.z_stabilizer_paulis() + host.x_stabilizer_paulis():
+            assert sim.expectation_is_deterministic(stab)
+
+    @staticmethod
+    def _shrink_z_correction(host, records):
+        """Pauli-frame sign for the patch logical Z after a shrink.
+
+        The patch logical Z equals the pre-shrink logical Z times the
+        removed row-0 Z outcomes (east step removes cols >= limit).
+        """
+        from repro.surface_code.lattice import Site
+        east_record = records[0]
+        row0_sites = [s for s in east_record.data_outcomes if s.row == 0]
+        assert row0_sites, "east shrink must remove row-0 qubits"
+        return -1 if east_record.data_parity(row0_sites) else 1
+
+    def test_expand_then_shrink_round_trip_zero(self, host):
+        for seed in range(6):
+            sim = self._encode_patch_zero(host, 2, seed)
+            execute_plan(sim, host, plan_expansion(host, 2))
+            records = execute_plan(sim, host, plan_shrink(host, 2))
+            patch_z = self._patch_logical_z(host, 2)
+            sign = self._shrink_z_correction(host, records)
+            assert sim.expectation(patch_z) * sign == 1
+
+    def test_expand_then_shrink_round_trip_one(self, host):
+        from repro.surface_code.lattice import Site
+        from repro.stab.pauli import Pauli
+        for seed in range(6):
+            sim = self._encode_patch_zero(host, 2, seed)
+            lx = Pauli.identity(host.num_data_qubits)
+            for k in range(2):
+                lx.x[host.data_index(Site(2 * k, 0))] = 1
+            sim.apply_pauli(lx)
+            execute_plan(sim, host, plan_expansion(host, 2))
+            records = execute_plan(sim, host, plan_shrink(host, 2))
+            sign = self._shrink_z_correction(host, records)
+            assert sim.expectation(self._patch_logical_z(host, 2)) * sign == -1
+
+    def test_expansion_preserves_plus_state(self, host):
+        """|+_L> of the patch survives expansion: X_L' is deterministic."""
+        from repro.surface_code.lattice import Site
+        from repro.stab.pauli import Pauli
+        for seed in range(4):
+            sim = StabilizerSimulator(host.num_data_qubits,
+                                      rng=np.random.default_rng(seed))
+            # Prepare patch |+_L>: init all patch qubits |+>, measure
+            # patch Z-stabilizers (X-stabs already satisfied).
+            for site in patch_data_sites(host, 2):
+                sim.h(host.data_index(site))
+            smap = embedded_patch_map(host, 2)
+            for stab in smap.stabilizers.values():
+                sim.measure_pauli(stabilizer_pauli(host, stab))
+            execute_plan(sim, host, plan_expansion(host, 2))
+            # The host's logical X (full column) must now be deterministic
+            # (its sign may depend on recorded measurement outcomes).
+            assert sim.expectation(host.logical_x()) != 0
+
+    def test_simulator_size_mismatch_rejected(self, host):
+        sim = StabilizerSimulator(3)
+        with pytest.raises(ValueError):
+            execute_plan(sim, host, plan_expansion(host, 2))

@@ -1,0 +1,62 @@
+"""Tests for the detection-driven end-to-end experiment."""
+
+import numpy as np
+import pytest
+
+from repro.sim.endtoend import EndToEndExperiment, EndToEndResult
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    """One shared medium-size campaign (module-scoped: it is the slow
+    part, and every assertion reads the same aggregate)."""
+    exp = EndToEndExperiment(13, 0.005, anomaly_size=4, onset=120,
+                             cycles=300, c_win=80, n_th=8)
+    return exp.run(40, np.random.default_rng(99))
+
+
+class TestResultType:
+    def test_rates_keys(self):
+        res = EndToEndResult(10, 5, 3, 2, detections=9, mean_latency=12.0)
+        assert set(res.rates()) == {"naive", "detected", "oracle"}
+        assert res.detection_rate == 0.9
+
+    def test_invalid_onset_rejected(self):
+        with pytest.raises(ValueError):
+            EndToEndExperiment(9, 0.01, onset=300, cycles=300)
+
+    def test_zero_shots_rejected(self):
+        exp = EndToEndExperiment(9, 0.01, onset=10, cycles=50)
+        with pytest.raises(ValueError):
+            exp.run(0)
+
+
+class TestCampaign:
+    def test_detection_usually_fires(self, campaign):
+        assert campaign.detection_rate > 0.8
+
+    def test_latency_is_positive_and_bounded(self, campaign):
+        assert 0 <= campaign.mean_latency < 240
+
+    def test_detected_decoding_beats_naive(self, campaign):
+        rates = campaign.rates()
+        assert rates["detected"] <= rates["naive"]
+
+    def test_oracle_is_the_floor(self, campaign):
+        rates = campaign.rates()
+        # Detection estimates the region within a node or two, so the
+        # detected decoder should track the oracle closely (within the
+        # campaign's statistical resolution).
+        assert rates["oracle"] <= rates["naive"]
+        assert rates["detected"] <= rates["oracle"] + 0.25
+
+
+class TestSingleShot:
+    def test_shot_returns_judgements(self):
+        exp = EndToEndExperiment(9, 0.008, onset=100, cycles=200,
+                                 c_win=80, n_th=8)
+        naive, detected, oracle, latency = exp.run_shot(
+            np.random.default_rng(3))
+        for value in (naive, detected, oracle):
+            assert value in (0, 1)
+        assert latency is None or latency >= 0

@@ -1,0 +1,88 @@
+"""Tests for the temporal code-expansion controller (Sec. V)."""
+
+import pytest
+
+from repro.core.expansion import (
+    ExpansionController,
+    required_expanded_distance,
+)
+
+
+class TestRequiredDistance:
+    def test_formula(self):
+        assert required_expanded_distance(11, 4) == 19
+
+    def test_doubling_suffices_for_small_anomalies(self):
+        # The paper doubles d; that exceeds d + 2 d_ano when 2 d_ano << d.
+        d, d_ano = 21, 4
+        assert 2 * d >= required_expanded_distance(d, d_ano)
+
+
+class TestController:
+    def test_default_expansion_doubles(self):
+        ctl = ExpansionController(default_distance=11)
+        assert ctl.expanded_distance == 22
+
+    def test_request_expands_on_tick(self):
+        ctl = ExpansionController(default_distance=11)
+        ctl.request(qubit=0, cycle=100, keep_cycles=1000)
+        changed = ctl.tick(100)
+        assert changed == [0]
+        assert ctl.state_of(0).current_distance == 22
+
+    def test_expansion_expires(self):
+        ctl = ExpansionController(default_distance=11)
+        ctl.request(0, 100, keep_cycles=50)
+        ctl.tick(100)
+        assert ctl.tick(149) == []
+        assert ctl.state_of(0).is_expanded
+        changed = ctl.tick(150)
+        assert changed == [0]
+        assert ctl.state_of(0).current_distance == 11
+
+    def test_reexpansion_extends_keep_time(self):
+        ctl = ExpansionController(default_distance=11)
+        ctl.request(0, 100, keep_cycles=100)
+        ctl.tick(100)
+        ctl.request(0, 150, keep_cycles=100)
+        ctl.tick(150)
+        assert ctl.tick(210) == []  # would have expired at 200
+        assert ctl.state_of(0).is_expanded
+        assert ctl.tick(250) == [0]
+
+    def test_blocked_expansion_stays_queued(self):
+        ctl = ExpansionController(default_distance=11,
+                                  space_available=lambda q: False)
+        ctl.request(0, 100, keep_cycles=100)
+        assert ctl.tick(100) == []
+        assert not ctl.state_of(0).is_expanded
+        assert len(ctl.queue) == 1
+
+    def test_blocked_expansion_commits_once_space_frees(self):
+        allowed = {"ok": False}
+        ctl = ExpansionController(
+            default_distance=11,
+            space_available=lambda q: allowed["ok"])
+        ctl.request(0, 100, keep_cycles=100)
+        ctl.tick(100)
+        allowed["ok"] = True
+        assert ctl.tick(101) == [0]
+
+    def test_independent_qubits(self):
+        ctl = ExpansionController(default_distance=9)
+        ctl.request(3, 10, keep_cycles=100)
+        ctl.tick(10)
+        assert ctl.state_of(3).is_expanded
+        assert not ctl.state_of(5).is_expanded
+
+    def test_protection_effective_after_latency(self):
+        ctl = ExpansionController(default_distance=11)
+        ctl.request(0, 100, keep_cycles=10_000)
+        ctl.tick(100)
+        latency = ctl.expansion_latency
+        assert not ctl.protection_effective_at(0, 100 + latency - 1)
+        assert ctl.protection_effective_at(0, 100 + latency)
+
+    def test_invalid_expanded_distance(self):
+        with pytest.raises(ValueError):
+            ExpansionController(default_distance=11, expanded_distance=9)

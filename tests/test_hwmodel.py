@@ -1,0 +1,108 @@
+"""Tests for the decoding-unit hardware model (Table IV)."""
+
+import pytest
+
+from repro.hwmodel.pipeline import ANQPipelineModel, measure_software_throughput
+from repro.hwmodel.resources import (
+    DecoderHardwareModel,
+    lut_overhead_ratio,
+    paper_table4_rows,
+    required_anq_entries,
+)
+
+
+class TestResourceModel:
+    @pytest.mark.parametrize("entries,q3de", [
+        (40, False), (40, True), (80, False), (80, True)])
+    def test_matches_paper_within_five_percent(self, entries, q3de):
+        model = DecoderHardwareModel(entries, q3de)
+        name = f"{entries} - {'Q3DE' if q3de else 'BASE'}"
+        paper = next(r for r in paper_table4_rows() if r["config"] == name)
+        assert model.flip_flops() == pytest.approx(paper["FF"], rel=0.05)
+        assert model.luts() == pytest.approx(paper["LUT"], rel=0.05)
+        assert model.throughput_matches_per_us() == pytest.approx(
+            paper["throughput"], rel=0.05)
+
+    def test_q3de_wider_datapath(self):
+        assert DecoderHardwareModel(40, True).path_bits == 16
+        assert DecoderHardwareModel(40, False).path_bits == 8
+
+    def test_q3de_more_candidate_paths(self):
+        assert DecoderHardwareModel(40, True).candidate_paths == 6
+
+    def test_lut_overhead_about_forty_percent(self):
+        # The paper's headline: ~40 % LUT overhead for Q3DE.
+        assert 0.3 < lut_overhead_ratio(40) < 0.55
+        assert 0.3 < lut_overhead_ratio(80) < 0.55
+
+    def test_throughput_near_parity(self):
+        base = DecoderHardwareModel(80, False).throughput_matches_per_us()
+        q3de = DecoderHardwareModel(80, True).throughput_matches_per_us()
+        assert q3de == pytest.approx(base, rel=0.1)
+
+    def test_utilisation_fits_device(self):
+        model = DecoderHardwareModel(80, True)
+        assert model.lut_utilisation() < 0.3
+        assert model.ff_utilisation() < 0.15
+
+    def test_tiny_anq_rejected(self):
+        with pytest.raises(ValueError):
+            DecoderHardwareModel(1, False)
+
+    def test_table_row_format(self):
+        row = DecoderHardwareModel(40, False).table_row()
+        assert row["config"] == "40 - BASE"
+        assert row["LUT%"] >= 1
+
+
+class TestANQSizing:
+    def test_paper_reference_points(self):
+        # ~30 entries for p=1e-4, d=15; ~70 for p=1e-3, d=31 (pL=1e-15).
+        small = required_anq_entries(1e-4, 15)
+        large = required_anq_entries(1e-3, 31)
+        assert 15 <= small <= 45
+        assert 45 <= large <= 110
+
+    def test_monotone_in_p(self):
+        assert (required_anq_entries(1e-3, 15)
+                > required_anq_entries(1e-4, 15))
+
+    def test_monotone_in_distance(self):
+        assert (required_anq_entries(1e-4, 31)
+                > required_anq_entries(1e-4, 15))
+
+    def test_monotone_in_target(self):
+        assert (required_anq_entries(1e-4, 15, p_l_target=1e-20)
+                >= required_anq_entries(1e-4, 15, p_l_target=1e-10))
+
+
+class TestPipelineModel:
+    def test_drain_counts_everything(self):
+        model = ANQPipelineModel(DecoderHardwareModel(40, False))
+        est = model.drain(30)
+        assert est.nodes == 30
+        assert est.matches >= 15
+        assert est.hardware_cycles > 0
+
+    def test_drain_respects_capacity(self):
+        model = ANQPipelineModel(DecoderHardwareModel(40, False))
+        small = model.drain(20).hardware_cycles
+        large = model.drain(100).hardware_cycles
+        assert large > small
+
+    def test_average_throughput_close_to_analytic(self):
+        hw = DecoderHardwareModel(40, False)
+        model = ANQPipelineModel(hw)
+        est = model.drain(40)
+        assert est.matches_per_us == pytest.approx(
+            hw.throughput_matches_per_us(), rel=0.6)
+
+    def test_sustains_typical_load(self):
+        # Sec. VIII-D: the matching speed must beat the average number of
+        # active nodes per code cycle.
+        model = ANQPipelineModel(DecoderHardwareModel(40, False))
+        assert model.sustains_code_cycle(active_nodes_per_cycle=5.0)
+
+    def test_software_throughput_positive(self):
+        rate = measure_software_throughput(num_nodes=20, repeats=5)
+        assert rate > 0

@@ -1,0 +1,118 @@
+"""Integration: scheduler + reaction policies sharing one qubit plane.
+
+Exercises the interaction the throughput study depends on: reactions
+consume plane space that the scheduler then has to route around, and
+relocation changes where subsequent lattice surgery terminates.
+"""
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.arch.isa import Instruction, InstructionKind
+from repro.arch.qubit_plane import BlockState, QubitPlane
+from repro.arch.scheduler import GreedyScheduler
+from repro.core.policy import ReactionPolicy, ReactionPolicyEngine
+
+
+def zz(a, b, reg=0):
+    return Instruction(InstructionKind.MEAS_ZZ, (a, b), register=reg)
+
+
+class TestExpandThenSchedule:
+    def test_surgery_routes_around_expansion(self):
+        plane = QubitPlane(11, 11)
+        engine = ReactionPolicyEngine(plane, ReactionPolicy.EXPAND)
+        # Expand qubit 6 (an interior qubit at (3, 3)).
+        assert engine.react(6, slot=0, duration_slots=50).succeeded
+        sched = GreedyScheduler(plane)
+        # Its neighbours can still reach each other around the 2x2 blob.
+        assert sched.try_commit(zz(0, 12), slot=0)
+
+    def test_op_on_expanded_qubit_spans_all_its_blocks(self):
+        plane = QubitPlane(11, 11)
+        ReactionPolicyEngine(plane, ReactionPolicy.EXPAND).react(
+            6, slot=0, duration_slots=50)
+        sched = GreedyScheduler(plane)
+        assert sched.try_commit(zz(6, 7), slot=0)
+        op = sched.executing[0]
+        for cell in plane.expansions[6]:
+            assert cell in op.cells
+        # And the doubled-distance latency applies.
+        assert op.finish_slot == 2
+
+    def test_expansion_blocked_by_busy_neighbors_defers(self):
+        plane = QubitPlane(11, 11)
+        sched = GreedyScheduler(plane)
+        # Saturate the area around qubit 0 with running surgery.
+        assert sched.try_commit(zz(0, 1), slot=0)
+        engine = ReactionPolicyEngine(plane, ReactionPolicy.EXPAND)
+        out = engine.react(0, slot=0, duration_slots=50)
+        # The 2x2 group still forms (other neighbours are free), but
+        # never out of blocks the surgery path reserved.
+        if out.succeeded:
+            surgery_cells = set(sched.executing[0].cells)
+            assert not surgery_cells & set(plane.expansions[0])
+
+
+class TestRelocateThenSchedule:
+    def test_surgery_targets_new_home(self):
+        plane = QubitPlane(11, 11)
+        engine = ReactionPolicyEngine(plane, ReactionPolicy.RELOCATE)
+        plane.strike(1, 1, until_slot=100)
+        out = engine.react(0, slot=0, duration_slots=100)
+        assert out.succeeded
+        sched = GreedyScheduler(plane)
+        # After the move completes (one slot), surgery works from the
+        # new position.
+        assert sched.try_commit(zz(0, 1), slot=1)
+        op = sched.executing[0]
+        assert out.new_position in op.cells
+        assert (1, 1) not in op.cells
+
+    def test_vacated_anomalous_block_not_used_for_routing(self):
+        plane = QubitPlane(11, 11)
+        engine = ReactionPolicyEngine(plane, ReactionPolicy.RELOCATE)
+        plane.strike(1, 1, until_slot=100)
+        engine.react(0, slot=0, duration_slots=100)
+        sched = GreedyScheduler(plane)
+        for _ in range(5):
+            queue = deque([zz(2, 7, reg=1)])
+            sched.step(queue, slot=2)
+        for op in sched.executing:
+            assert (1, 1) not in op.cells
+
+
+class TestMixedCampaign:
+    def test_random_strikes_never_corrupt_plane_invariants(self):
+        """Property-style: arbitrary strike/react/schedule interleavings
+        keep exactly 25 logical qubits, each at a unique position."""
+        rng = np.random.default_rng(5)
+        plane = QubitPlane(11, 11)
+        engines = {
+            ReactionPolicy.EXPAND: ReactionPolicyEngine(
+                plane, ReactionPolicy.EXPAND),
+            ReactionPolicy.RELOCATE: ReactionPolicyEngine(
+                plane, ReactionPolicy.RELOCATE),
+        }
+        sched = GreedyScheduler(plane)
+        queue = deque(zz(int(a), int(b), reg=i) for i, (a, b) in enumerate(
+            rng.choice(25, size=(30, 2), replace=True)) if a != b)
+        for slot in range(40):
+            if rng.random() < 0.3:
+                r = int(rng.integers(0, 11))
+                c = int(rng.integers(0, 11))
+                blk = plane.strike(r, c, until_slot=slot + 20)
+                if (blk.state is BlockState.LOGICAL
+                        and blk.logical_id is not None):
+                    policy = (ReactionPolicy.EXPAND if rng.random() < 0.5
+                              else ReactionPolicy.RELOCATE)
+                    engines[policy].react(blk.logical_id, slot, 20)
+            plane.expire_anomalies(slot)
+            sched.step(queue, slot)
+            positions = list(plane.logical_positions.values())
+            assert len(positions) == len(set(positions)) == 25
+            for qubit, (r, c) in plane.logical_positions.items():
+                assert plane.block(r, c).logical_id == qubit
+                assert plane.block(r, c).state is BlockState.LOGICAL

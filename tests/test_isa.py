@@ -1,0 +1,92 @@
+"""Tests for the FTQC instruction set and instruction queue (Table II)."""
+
+import pytest
+
+from repro.arch.isa import Instruction, InstructionKind, InstructionQueue
+
+
+def zz(a, b, reg=0):
+    return Instruction(InstructionKind.MEAS_ZZ, (a, b), register=reg)
+
+
+class TestInstruction:
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Instruction(InstructionKind.OP_H, (0, 1))
+        with pytest.raises(ValueError):
+            Instruction(InstructionKind.MEAS_ZZ, (0,), register=0)
+
+    def test_measurement_needs_register(self):
+        with pytest.raises(ValueError):
+            Instruction(InstructionKind.MEAS_Z, (0,))
+
+    def test_read_needs_register(self):
+        with pytest.raises(ValueError):
+            Instruction(InstructionKind.READ)
+
+    def test_read_takes_no_targets(self):
+        with pytest.raises(ValueError):
+            Instruction(InstructionKind.READ, (0,), register=0)
+
+    def test_op_expand_is_unary(self):
+        inst = Instruction(InstructionKind.OP_EXPAND, (3,))
+        assert inst.targets == (3,)
+
+    def test_uids_are_unique_and_ordered(self):
+        a = Instruction(InstructionKind.OP_H, (0,))
+        b = Instruction(InstructionKind.OP_H, (0,))
+        assert a.uid < b.uid
+
+    def test_latency_proportional_to_distance(self):
+        inst = Instruction(InstructionKind.OP_H, (0,))
+        assert inst.latency_cycles(11) == 11
+        assert inst.latency_cycles(22) == 22
+
+    def test_read_latency_zero(self):
+        inst = Instruction(InstructionKind.READ, register=0)
+        assert inst.latency_cycles(11) == 0
+
+    def test_is_measurement(self):
+        assert zz(0, 1).is_measurement
+        assert not Instruction(InstructionKind.OP_H, (0,)).is_measurement
+
+
+class TestConflicts:
+    def test_disjoint_targets_commute(self):
+        assert not zz(0, 1).conflicts_with(zz(2, 3, reg=1))
+
+    def test_shared_target_conflicts(self):
+        assert zz(0, 1).conflicts_with(zz(1, 2, reg=1))
+
+    def test_read_conflicts_only_on_register(self):
+        read = Instruction(InstructionKind.READ, register=0)
+        assert read.conflicts_with(zz(0, 1, reg=0))
+        assert not read.conflicts_with(zz(0, 1, reg=1))
+
+
+class TestQueue:
+    def test_fifo_order_for_conflicting(self):
+        q = InstructionQueue([zz(0, 1), zz(1, 2, reg=1), zz(3, 4, reg=2)])
+        ready = q.ready_candidates()
+        uids = [i.register for i in ready]
+        # zz(1,2) blocked behind zz(0,1); zz(3,4) free to jump.
+        assert uids == [0, 2]
+
+    def test_push_front_prioritizes(self):
+        q = InstructionQueue([zz(0, 1)])
+        expand = Instruction(InstructionKind.OP_EXPAND, (5,))
+        q.push_front(expand)
+        assert next(iter(q)) is expand
+
+    def test_lookahead_limit(self):
+        q = InstructionQueue([zz(2 * i, 2 * i + 1, reg=i) for i in range(8)])
+        assert len(q.ready_candidates(limit=3)) == 3
+
+    def test_remove(self):
+        first = zz(0, 1)
+        q = InstructionQueue([first, zz(2, 3, reg=1)])
+        q.remove(first)
+        assert len(q) == 1
+
+    def test_empty_queue(self):
+        assert InstructionQueue().ready_candidates() == []

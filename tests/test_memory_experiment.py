@@ -1,0 +1,115 @@
+"""Tests for the logical-memory Monte-Carlo experiments."""
+
+import numpy as np
+import pytest
+
+from repro.noise import AnomalousRegion
+from repro.sim.memory import (
+    LogicalErrorEstimate,
+    MemoryExperiment,
+    fit_scaling_exponent,
+    logical_error_rate,
+)
+
+
+class TestEstimate:
+    def test_per_run(self):
+        est = LogicalErrorEstimate(5, 100, cycles=10)
+        assert est.per_run == 0.05
+
+    def test_per_cycle_conversion(self):
+        est = LogicalErrorEstimate(10, 100, cycles=10)
+        assert est.per_cycle == pytest.approx(
+            1 - (1 - 0.1) ** 0.1)
+
+    def test_per_cycle_saturation(self):
+        est = LogicalErrorEstimate(100, 100, cycles=10)
+        assert est.per_cycle == 1.0
+
+    def test_std_error_positive(self):
+        est = LogicalErrorEstimate(5, 100, cycles=10)
+        assert est.per_cycle_std_error > 0
+
+
+class TestExperiment:
+    def test_invalid_decoder_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryExperiment(5, 0.01, decoder="magic")
+
+    def test_zero_noise_never_fails(self, rng):
+        exp = MemoryExperiment(5, 0.0)
+        est = exp.run(50, rng)
+        assert est.failures == 0
+
+    def test_custom_cycle_count(self, rng):
+        exp = MemoryExperiment(5, 0.01, cycles=3)
+        assert exp.cycles == 3
+        est = exp.run(10, rng)
+        assert est.cycles == 3
+
+    def test_default_cycles_equal_distance(self):
+        assert MemoryExperiment(7, 0.01).cycles == 7
+
+    def test_seeded_runs_reproducible(self):
+        a = logical_error_rate(5, 0.02, samples=200, seed=7)
+        b = logical_error_rate(5, 0.02, samples=200, seed=7)
+        assert a.failures == b.failures
+
+    def test_need_at_least_one_sample(self, rng):
+        with pytest.raises(ValueError):
+            MemoryExperiment(5, 0.01).run(0, rng)
+
+
+class TestPaperShapes:
+    """Statistical checks of the paper's qualitative claims."""
+
+    def test_mbbe_raises_logical_error_rate(self):
+        p = 0.01
+        clean = logical_error_rate(9, p, samples=400, seed=1)
+        region = AnomalousRegion.centered(9, 4)
+        dirty = logical_error_rate(9, p, samples=400, region=region, seed=2)
+        assert dirty.per_run > 2 * clean.per_run
+
+    def test_informed_decoding_helps(self):
+        # Fig. 8: with-rollback beats without-rollback at low p.
+        p = 0.008
+        region = AnomalousRegion.centered(9, 4)
+        naive = logical_error_rate(9, p, samples=700, region=region, seed=3)
+        informed = logical_error_rate(9, p, samples=700, region=region,
+                                      informed=True, seed=4)
+        assert informed.per_run < naive.per_run
+
+    def test_larger_anomaly_is_worse(self):
+        p = 0.008
+        small = logical_error_rate(
+            9, p, samples=500, region=AnomalousRegion.centered(9, 2), seed=5)
+        large = logical_error_rate(
+            9, p, samples=500, region=AnomalousRegion.centered(9, 4), seed=6)
+        assert large.per_run > small.per_run
+
+    def test_distance_helps_below_threshold(self):
+        p = 0.015
+        small = logical_error_rate(5, p, samples=500, seed=7)
+        large = logical_error_rate(11, p, samples=500, seed=8)
+        assert large.per_cycle < small.per_cycle
+
+    def test_mwpm_beats_greedy(self):
+        p = 0.02
+        greedy = logical_error_rate(5, p, samples=400, decoder="greedy",
+                                    seed=9)
+        exact = logical_error_rate(5, p, samples=400, decoder="mwpm",
+                                   seed=10)
+        assert exact.per_run <= greedy.per_run
+
+
+class TestScalingFit:
+    def test_fit_recovers_exponent(self):
+        base = 0.3
+        rates = {d: 0.1 * base ** (d // 2 + 1) for d in (5, 7, 9, 11)}
+        amp, fitted = fit_scaling_exponent(rates)
+        assert fitted == pytest.approx(base, rel=1e-6)
+        assert amp == pytest.approx(0.1, rel=1e-6)
+
+    def test_fit_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_scaling_exponent({5: 0.1})

@@ -1,0 +1,70 @@
+"""Tests for the Table III memory-overhead model."""
+
+import pytest
+
+from repro.arch.memory_overhead import MemoryOverheadModel
+
+
+@pytest.fixture
+def paper_model():
+    """The paper's Table III setting: d = 31, c_win = 300."""
+    return MemoryOverheadModel(distance=31, c_win=300)
+
+
+class TestTable3:
+    def test_syndrome_queue_623_kbit(self, paper_model):
+        assert paper_model.syndrome_queue_bits() / 1000 == pytest.approx(
+            623, rel=0.01)
+
+    def test_active_node_counter_16_kbit(self, paper_model):
+        assert paper_model.active_node_counter_bits() / 1000 == pytest.approx(
+            16, rel=0.03)
+
+    def test_matching_queue_24_kbit(self, paper_model):
+        assert paper_model.matching_queue_bits() / 1000 == pytest.approx(
+            24, rel=0.03)
+
+    def test_baseline_58_kbit(self, paper_model):
+        assert paper_model.baseline_syndrome_queue_bits() / 1000 == \
+            pytest.approx(58, rel=0.05)
+
+    def test_overhead_about_ten_times(self, paper_model):
+        assert paper_model.overhead_ratio() == pytest.approx(10, rel=0.1)
+
+    def test_rows_kbit_keys(self, paper_model):
+        rows = paper_model.rows_kbit()
+        assert set(rows) == {"syndrome_queue", "active_node_counter",
+                             "matching_queue"}
+
+
+class TestScaling:
+    def test_overhead_shrinks_when_cwin_close_to_d(self):
+        # The paper: if c_win ~ d the overhead becomes almost negligible.
+        big_win = MemoryOverheadModel(31, 300).overhead_ratio()
+        small_win = MemoryOverheadModel(31, 31).overhead_ratio()
+        assert small_win < big_win / 5
+
+    def test_total_dominated_by_syndrome_queue(self, paper_model):
+        assert (paper_model.syndrome_queue_bits()
+                > 0.9 * paper_model.total_bits())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MemoryOverheadModel(1, 300)
+        with pytest.raises(ValueError):
+            MemoryOverheadModel(31, 0)
+
+    def test_agrees_with_live_buffers(self):
+        """The closed forms must match the real data structures."""
+        from repro.arch.buffers import (MatchingQueue, SyndromeQueue,
+                                        optimal_batch_cycles)
+        d, c_win = 31, 300
+        model = MemoryOverheadModel(d, c_win)
+        shape = (d - 1, d)  # (d-1)*d ~ d^2 nodes per lattice
+        queue = SyndromeQueue(shape, c_win + optimal_batch_cycles(c_win))
+        # Same order of magnitude (the model uses the d^2 idealization).
+        assert queue.memory_bits() == pytest.approx(
+            model.syndrome_queue_bits(), rel=0.05)
+        mq = MatchingQueue(c_win)
+        assert mq.memory_bits((d - 1) * d) == pytest.approx(
+            model.matching_queue_bits(), rel=0.1)

@@ -1,0 +1,63 @@
+"""Tests for Monte-Carlo statistics helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.montecarlo import BinomialEstimate, wilson_interval
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(30, 100)
+        assert lo < 0.3 < hi
+
+    def test_zero_successes(self):
+        lo, hi = wilson_interval(0, 100)
+        assert lo == 0.0
+        assert 0 < hi < 0.1
+
+    def test_all_successes(self):
+        lo, hi = wilson_interval(100, 100)
+        assert 0.9 < lo < 1.0
+        assert hi == pytest.approx(1.0)
+
+    def test_narrows_with_trials(self):
+        lo1, hi1 = wilson_interval(10, 100)
+        lo2, hi2 = wilson_interval(1000, 10_000)
+        assert hi2 - lo2 < hi1 - lo1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    @given(st.integers(0, 1000), st.integers(1, 1000))
+    def test_bounds_always_valid(self, successes, trials):
+        if successes > trials:
+            return
+        lo, hi = wilson_interval(successes, trials)
+        assert 0.0 <= lo <= hi <= 1.0
+
+
+class TestBinomialEstimate:
+    def test_mean(self):
+        assert BinomialEstimate(25, 100).mean == 0.25
+
+    def test_interval_wraps_wilson(self):
+        est = BinomialEstimate(25, 100)
+        assert est.interval == wilson_interval(25, 100)
+
+    def test_std_error_positive_even_at_zero(self):
+        assert BinomialEstimate(0, 100).std_error > 0
+
+    def test_addition_pools_counts(self):
+        total = BinomialEstimate(5, 100) + BinomialEstimate(7, 200)
+        assert total.successes == 12
+        assert total.trials == 300
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            BinomialEstimate(5, 0)
+        with pytest.raises(ValueError):
+            BinomialEstimate(5, 3)

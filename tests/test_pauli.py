@@ -1,0 +1,127 @@
+"""Unit and property tests for the symplectic Pauli algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stab.pauli import Pauli
+
+
+def paulis(num_qubits=st.integers(1, 8)):
+    """Hypothesis strategy for random Paulis."""
+    @st.composite
+    def build(draw):
+        n = draw(num_qubits)
+        x = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+        z = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+        phase = draw(st.integers(0, 3))
+        return Pauli(np.array(x), np.array(z), phase)
+    return build()
+
+
+class TestConstruction:
+    def test_identity_has_weight_zero(self):
+        assert Pauli.identity(5).weight == 0
+
+    def test_from_label_round_trip(self):
+        for label in ("+XIZY", "-ZZ", "iX", "-iYX"):
+            assert Pauli.from_label(label).to_label() == label
+
+    def test_from_label_bare_is_positive(self):
+        assert Pauli.from_label("XZ").to_label() == "+XZ"
+
+    def test_from_label_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Pauli.from_label("XQ")
+
+    def test_single_embeds_correctly(self):
+        p = Pauli.single(4, 2, "Y")
+        assert p.to_label() == "+IIYI"
+
+    def test_mismatched_xz_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Pauli(np.array([1, 0]), np.array([1]))
+
+    def test_weight_counts_nontrivial_sites(self):
+        assert Pauli.from_label("XIYZ").weight == 3
+
+    def test_support_indices(self):
+        assert Pauli.from_label("IXIZ").support() == [1, 3]
+
+
+class TestAlgebra:
+    def test_xx_commute(self):
+        a = Pauli.from_label("XX")
+        b = Pauli.from_label("XI")
+        assert a.commutes_with(b)
+
+    def test_xz_anticommute_on_same_qubit(self):
+        assert not Pauli.from_label("X").commutes_with(Pauli.from_label("Z"))
+
+    def test_xz_commute_on_different_qubits(self):
+        assert Pauli.from_label("XI").commutes_with(Pauli.from_label("IZ"))
+
+    def test_product_of_x_and_z(self):
+        prod = Pauli.from_label("X") * Pauli.from_label("Z")
+        assert prod.equals_up_to_phase(Pauli.from_label("Y"))
+
+    def test_product_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Pauli.from_label("X").compose(Pauli.from_label("XX"))
+
+    def test_z_times_x_picks_up_sign(self):
+        # Z * X = iY; X * Z = -iY: they differ by a -1.
+        zx = Pauli.from_label("Z") * Pauli.from_label("X")
+        xz = Pauli.from_label("X") * Pauli.from_label("Z")
+        assert zx.equals_up_to_phase(xz)
+        assert (zx.phase - xz.phase) % 4 == 2
+
+    @given(paulis())
+    def test_self_product_is_identity_up_to_phase(self, p):
+        prod = p * p
+        assert prod.weight == 0
+
+    @given(st.data())
+    def test_commutation_is_symmetric(self, data):
+        n = data.draw(st.integers(1, 6))
+        a = data.draw(paulis(st.just(n)))
+        b = data.draw(paulis(st.just(n)))
+        assert a.commutes_with(b) == b.commutes_with(a)
+
+    @given(st.data())
+    def test_product_support_is_symmetric_difference_or_less(self, data):
+        n = data.draw(st.integers(1, 6))
+        a = data.draw(paulis(st.just(n)))
+        b = data.draw(paulis(st.just(n)))
+        prod = a * b
+        assert set(prod.support()) <= set(a.support()) | set(b.support())
+
+    @given(st.data())
+    def test_composition_is_associative_up_to_phase(self, data):
+        n = data.draw(st.integers(1, 5))
+        a = data.draw(paulis(st.just(n)))
+        b = data.draw(paulis(st.just(n)))
+        c = data.draw(paulis(st.just(n)))
+        left = (a * b) * c
+        right = a * (b * c)
+        assert left.equals_up_to_phase(right)
+
+    @given(st.data())
+    def test_commuting_paulis_product_order_irrelevant(self, data):
+        n = data.draw(st.integers(1, 5))
+        a = data.draw(paulis(st.just(n)))
+        b = data.draw(paulis(st.just(n)))
+        ab, ba = a * b, b * a
+        assert ab.equals_up_to_phase(ba)
+        if a.commutes_with(b):
+            assert ab.phase == ba.phase
+        else:
+            assert (ab.phase - ba.phase) % 4 == 2
+
+
+class TestEquality:
+    def test_equality_includes_phase(self):
+        assert Pauli.from_label("X") != Pauli.from_label("-X")
+
+    def test_hashable(self):
+        assert len({Pauli.from_label("X"), Pauli.from_label("X")}) == 1

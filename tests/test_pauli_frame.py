@@ -1,0 +1,104 @@
+"""Tests for the Pauli frame journal and classical register."""
+
+import pytest
+
+from repro.arch.pauli_frame import ClassicalRegister, PauliFrame
+
+
+class TestPauliFrame:
+    def test_apply_and_read(self):
+        frame = PauliFrame(3)
+        frame.apply(0, 1, flip_x=True)
+        frame.apply(1, 1, flip_z=True)
+        assert frame.x == [0, 1, 0]
+        assert frame.z == [0, 1, 0]
+
+    def test_double_apply_cancels(self):
+        frame = PauliFrame(1)
+        frame.apply(0, 0, flip_x=True)
+        frame.apply(1, 0, flip_x=True)
+        assert frame.x == [0]
+        assert frame.journal_length == 2
+
+    def test_noop_update_not_journaled(self):
+        frame = PauliFrame(1)
+        frame.apply(0, 0)
+        assert frame.journal_length == 0
+
+    def test_rollback_restores_state(self):
+        frame = PauliFrame(2)
+        frame.apply(0, 0, flip_x=True)
+        frame.apply(5, 1, flip_z=True)
+        frame.apply(9, 0, flip_z=True)
+        undone = frame.rollback_to(5)
+        assert len(undone) == 2
+        assert frame.x == [1, 0]
+        assert frame.z == [0, 0]
+        assert undone[0].cycle == 5  # oldest first
+
+    def test_rollback_to_zero_restores_identity(self):
+        frame = PauliFrame(2)
+        for t in range(6):
+            frame.apply(t, t % 2, flip_x=bool(t % 2), flip_z=True)
+        frame.rollback_to(0)
+        assert frame.x == [0, 0] and frame.z == [0, 0]
+
+    def test_trim_journal(self):
+        frame = PauliFrame(1)
+        for t in range(10):
+            frame.apply(t, 0, flip_x=True)
+        dropped = frame.trim_journal(before_cycle=7)
+        assert dropped == 7
+        assert frame.journal_length == 3
+
+    def test_out_of_range_qubit(self):
+        frame = PauliFrame(1)
+        with pytest.raises(ValueError):
+            frame.apply(0, 2, flip_x=True)
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            PauliFrame(0)
+
+
+class TestClassicalRegister:
+    def test_uncorrected_entry_not_readable(self):
+        reg = ClassicalRegister()
+        reg.write_raw(0, 1, cycle=10)
+        assert reg.read(0) is None
+
+    def test_corrected_entry_readable(self):
+        reg = ClassicalRegister()
+        reg.write_raw(0, 1, cycle=10)
+        reg.mark_corrected(0, correction=1, cycle=20)
+        assert reg.read(0) == 0  # raw 1 XOR correction 1
+
+    def test_missing_entry_reads_none(self):
+        assert ClassicalRegister().read(42) is None
+
+    def test_entries_corrected_after(self):
+        reg = ClassicalRegister()
+        for i, t in enumerate((10, 20, 30)):
+            reg.write_raw(i, 0, cycle=t)
+            reg.mark_corrected(i, 0, cycle=t + 5)
+        assert sorted(reg.entries_corrected_after(25)) == [1, 2]
+
+    def test_any_read_corrected_after(self):
+        reg = ClassicalRegister()
+        reg.write_raw(0, 1, cycle=10)
+        reg.mark_corrected(0, 0, cycle=15)
+        assert not reg.any_read_corrected_after(12)
+        reg.read(0)
+        assert reg.any_read_corrected_after(12)
+        assert not reg.any_read_corrected_after(16)
+
+    def test_uncorrect_reverts_entry(self):
+        reg = ClassicalRegister()
+        reg.write_raw(0, 1, cycle=10)
+        reg.mark_corrected(0, 1, cycle=15)
+        reg.uncorrect(0)
+        assert reg.read(0) is None
+        entry = reg.entry(0)
+        assert entry is not None
+        assert entry.raw_value == 1
+        assert entry.correction == 0

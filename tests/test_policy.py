@@ -1,0 +1,134 @@
+"""Tests for reaction policies and non-cosmic-ray burst sources."""
+
+import numpy as np
+import pytest
+
+from repro.arch.qubit_plane import BlockState, QubitPlane
+from repro.core.policy import (
+    ReactionOutcome,
+    ReactionPolicy,
+    ReactionPolicyEngine,
+)
+from repro.noise.leakage import (
+    BurstEvent,
+    BurstProcess,
+    BurstSource,
+    RECOMMENDED_POLICY,
+    ion_trap_processes,
+)
+
+
+class TestPolicies:
+    def test_ignore_does_nothing(self):
+        plane = QubitPlane(11, 11)
+        engine = ReactionPolicyEngine(plane, ReactionPolicy.IGNORE)
+        out = engine.react(0, slot=0, duration_slots=100)
+        assert out.succeeded
+        assert not plane.is_expanded(0)
+        assert plane.logical_positions[0] == (1, 1)
+
+    def test_expand_policy_grows_qubit(self):
+        plane = QubitPlane(11, 11)
+        engine = ReactionPolicyEngine(plane, ReactionPolicy.EXPAND)
+        out = engine.react(0, slot=0, duration_slots=100)
+        assert out.succeeded
+        assert plane.is_expanded(0)
+
+    def test_relocate_moves_to_healthy_block(self):
+        plane = QubitPlane(11, 11)
+        engine = ReactionPolicyEngine(plane, ReactionPolicy.RELOCATE)
+        plane.strike(1, 1, until_slot=100)  # hit qubit 0
+        out = engine.react(0, slot=0, duration_slots=100)
+        assert out.succeeded
+        assert out.new_position is not None
+        assert out.new_position != (1, 1)
+        new_block = plane.block(*out.new_position)
+        assert new_block.state is BlockState.LOGICAL
+        assert new_block.logical_id == 0
+        assert plane.logical_positions[0] == out.new_position
+
+    def test_relocate_leaves_anomalous_vacancy_behind(self):
+        plane = QubitPlane(11, 11)
+        engine = ReactionPolicyEngine(plane, ReactionPolicy.RELOCATE)
+        plane.strike(1, 1, until_slot=100)
+        engine.react(0, slot=0, duration_slots=100)
+        old = plane.block(1, 1)
+        assert old.state is BlockState.ANOMALOUS
+        assert old.logical_id is None
+        assert not plane.routable(1, 1, slot=50)
+
+    def test_relocate_avoids_anomalous_destinations(self):
+        plane = QubitPlane(11, 11)
+        engine = ReactionPolicyEngine(plane, ReactionPolicy.RELOCATE)
+        # Poison every neighbour of qubit 0 except a distant cell.
+        for cell in [(0, 1), (1, 0), (2, 1), (1, 2), (0, 0), (2, 2),
+                     (0, 2), (2, 0)]:
+            plane.strike(*cell, until_slot=100)
+        out = engine.react(0, slot=0, duration_slots=100)
+        assert out.succeeded
+        r, c = out.new_position
+        assert not plane.is_anomalous(r, c, slot=0)
+
+    def test_relocate_fails_when_plane_saturated(self):
+        plane = QubitPlane(3, 3)
+        for r in range(3):
+            for c in range(3):
+                if plane.block(r, c).state is BlockState.VACANT:
+                    plane.strike(r, c, until_slot=1000)
+        engine = ReactionPolicyEngine(plane, ReactionPolicy.RELOCATE)
+        out = engine.react(0, slot=0, duration_slots=100)
+        assert not out.succeeded
+
+
+class TestBurstSources:
+    def test_recommended_policies_cover_all_sources(self):
+        assert set(RECOMMENDED_POLICY) == set(BurstSource)
+
+    def test_cosmic_rays_expand_others_relocate(self):
+        assert (RECOMMENDED_POLICY[BurstSource.COSMIC_RAY]
+                is ReactionPolicy.EXPAND)
+        assert (RECOMMENDED_POLICY[BurstSource.ATOM_LOSS]
+                is ReactionPolicy.RELOCATE)
+
+    def test_event_region_conversion(self):
+        event = BurstEvent(BurstSource.LEAKAGE, cycle=100, row=2, col=3,
+                           size=1, duration_cycles=500)
+        region = event.region()
+        assert region.t_lo == 100
+        assert region.t_hi == 600
+        assert region.contains_node(2, 3)
+        assert not region.contains_node(3, 3)
+
+    def test_process_rate_scaling(self):
+        rng = np.random.default_rng(0)
+        quiet = BurstProcess(BurstSource.LEAKAGE, 1e-6, 1, 100, 8, 9,
+                             rng=rng)
+        loud = BurstProcess(BurstSource.LEAKAGE, 1e-3, 1, 100, 8, 9,
+                            rng=np.random.default_rng(0))
+        cycles = 1_000_000
+        assert len(loud.sample(cycles)) > len(quiet.sample(cycles))
+
+    def test_events_sorted_and_placed(self):
+        proc = BurstProcess(BurstSource.ATOM_LOSS, 1e-4, 2, 100, 8, 9,
+                            rng=np.random.default_rng(1))
+        events = proc.sample(200_000)
+        assert events == sorted(events, key=lambda e: e.cycle)
+        for e in events:
+            assert 0 <= e.row <= 6
+            assert 0 <= e.col <= 7
+
+    def test_ion_trap_reference_processes(self):
+        procs = ion_trap_processes(20, 21, np.random.default_rng(2))
+        sources = {p.source for p in procs}
+        assert BurstSource.LEAKAGE in sources
+        assert BurstSource.CRYSTAL_SCRAMBLE in sources
+        # Leakage dominates the arrival rates for ion traps.
+        leak = next(p for p in procs if p.source is BurstSource.LEAKAGE)
+        assert all(leak.rate_per_cycle >= p.rate_per_cycle
+                   for p in procs)
+
+    def test_invalid_process_rejected(self):
+        with pytest.raises(ValueError):
+            BurstProcess(BurstSource.LEAKAGE, -1.0, 1, 100, 8, 9)
+        with pytest.raises(ValueError):
+            BurstProcess(BurstSource.LEAKAGE, 1e-5, 0, 100, 8, 9)

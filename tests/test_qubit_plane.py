@@ -1,0 +1,119 @@
+"""Tests for the qubit plane block grid."""
+
+import pytest
+
+from repro.arch.qubit_plane import BlockState, QubitPlane
+
+
+class TestAllocation:
+    def test_paper_plane_hosts_25_logical_qubits(self):
+        plane = QubitPlane(11, 11)
+        assert plane.num_logical == 25
+
+    def test_logical_blocks_on_odd_indices(self):
+        plane = QubitPlane(7, 7)
+        for qubit, (r, c) in plane.logical_positions.items():
+            assert r % 2 == 1 and c % 2 == 1
+            assert plane.block(r, c).logical_id == qubit
+
+    def test_vacant_between_qubits(self):
+        plane = QubitPlane(5, 5)
+        assert plane.block(1, 2).state is BlockState.VACANT
+        assert plane.block(2, 1).state is BlockState.VACANT
+
+    def test_empty_plane_rejected(self):
+        with pytest.raises(ValueError):
+            QubitPlane(0, 3)
+
+
+class TestAnomalies:
+    def test_vacant_strike_becomes_anomalous(self):
+        plane = QubitPlane(5, 5)
+        plane.strike(0, 0, until_slot=10)
+        assert plane.block(0, 0).state is BlockState.ANOMALOUS
+        assert not plane.routable(0, 0, slot=5)
+
+    def test_anomaly_expires(self):
+        plane = QubitPlane(5, 5)
+        plane.strike(0, 0, until_slot=10)
+        recovered = plane.expire_anomalies(10)
+        assert (0, 0) in recovered
+        assert plane.routable(0, 0, slot=10)
+
+    def test_logical_strike_keeps_logical_state(self):
+        plane = QubitPlane(5, 5)
+        plane.strike(1, 1, until_slot=10)
+        assert plane.block(1, 1).state is BlockState.LOGICAL
+        assert plane.is_anomalous(1, 1, slot=5)
+
+    def test_repeat_strike_extends(self):
+        plane = QubitPlane(5, 5)
+        plane.strike(0, 0, until_slot=10)
+        plane.strike(0, 0, until_slot=30)
+        plane.expire_anomalies(10)
+        assert plane.block(0, 0).state is BlockState.ANOMALOUS
+
+
+class TestExpansion:
+    def test_expand_absorbs_three_blocks(self):
+        plane = QubitPlane(11, 11)
+        assert plane.expand_logical(0, slot=0)  # qubit 0 at (1, 1)
+        absorbed = plane.expansions[0]
+        assert len(absorbed) == 3
+        for r, c in absorbed:
+            assert plane.block(r, c).state is BlockState.EXPANSION
+            assert plane.block(r, c).logical_id == 0
+
+    def test_expanded_blocks_not_routable(self):
+        plane = QubitPlane(11, 11)
+        plane.expand_logical(0, slot=0)
+        for r, c in plane.expansions[0]:
+            assert not plane.routable(r, c, slot=0)
+
+    def test_shrink_restores_vacancy(self):
+        plane = QubitPlane(11, 11)
+        plane.expand_logical(0, slot=0)
+        cells = list(plane.expansions[0])
+        plane.shrink_logical(0)
+        assert not plane.is_expanded(0)
+        for r, c in cells:
+            assert plane.block(r, c).state is BlockState.VACANT
+            assert plane.block(r, c).logical_id is None
+
+    def test_expand_idempotent(self):
+        plane = QubitPlane(11, 11)
+        assert plane.expand_logical(0, slot=0)
+        first = list(plane.expansions[0])
+        assert plane.expand_logical(0, slot=1)
+        assert plane.expansions[0] == first
+
+    def test_expand_fails_with_no_vacancy(self):
+        plane = QubitPlane(11, 11)
+        r, c = plane.logical_positions[0]
+        for rr in range(plane.rows):
+            for cc in range(plane.cols):
+                if plane.block(rr, cc).state is BlockState.VACANT:
+                    plane.block(rr, cc).busy_until = 100
+        assert not plane.expand_logical(0, slot=0)
+
+
+class TestReservation:
+    def test_reserved_blocks_not_routable(self):
+        plane = QubitPlane(5, 5)
+        plane.reserve([(0, 0), (0, 1)], until_slot=5)
+        assert not plane.routable(0, 0, slot=4)
+        assert plane.routable(0, 0, slot=5)
+
+    def test_qubit_free_tracks_reservation(self):
+        plane = QubitPlane(5, 5)
+        pos = plane.logical_positions[0]
+        plane.reserve([pos], until_slot=3)
+        assert not plane.qubit_free(0, slot=2)
+        assert plane.qubit_free(0, slot=3)
+
+    def test_qubit_free_includes_expansion_blocks(self):
+        plane = QubitPlane(11, 11)
+        plane.expand_logical(0, slot=0)
+        cell = plane.expansions[0][0]
+        plane.reserve([cell], until_slot=5)
+        assert not plane.qubit_free(0, slot=2)

@@ -1,0 +1,97 @@
+"""Tests for the rollback controller (decoder re-execution, Sec. VI-C)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.buffers import MatchingQueue, MatchRecord, SyndromeQueue
+from repro.arch.pauli_frame import ClassicalRegister, PauliFrame
+from repro.core.reexecution import RollbackController, RollbackDenied
+
+
+def build(window=40, d=9, c_lat=20):
+    shape = (d - 1, d)
+    sq = SyndromeQueue(shape, window)
+    mq = MatchingQueue(c_win=window, c_bat=5)
+    frame = PauliFrame(1)
+    reg = ClassicalRegister()
+    ctl = RollbackController(sq, mq, frame, reg, distance=d, c_lat=c_lat)
+    return ctl, sq, mq, frame, reg
+
+
+def run_cycles(ctl, sq, mq, frame, cycles, shape=(8, 9)):
+    rng = np.random.default_rng(0)
+    for t in range(cycles):
+        sq.push(t, (rng.random(shape) < 0.05).astype(np.uint8))
+        mq.record(MatchRecord(t, cut_parity=int(rng.integers(0, 2)),
+                              num_matches=1))
+        if t % 7 == 0:
+            frame.apply(t, 0, flip_x=True)
+
+
+class TestRollback:
+    def test_depth_is_clat_plus_d(self):
+        ctl, *_ = build(d=9, c_lat=20)
+        assert ctl.rollback_depth() == 29
+
+    def test_rollback_returns_replay_layers(self):
+        ctl, sq, mq, frame, reg = build(window=40, d=9, c_lat=20)
+        run_cycles(ctl, sq, mq, frame, 50)
+        out = ctl.execute(detection_cycle=49)
+        assert out.rollback_cycle == 20  # 49 - 29
+        assert out.replay_start_cycle == 20
+        assert len(out.replay_layers) == 30  # cycles 20..49
+
+    def test_rollback_undoes_frame_updates(self):
+        ctl, sq, mq, frame, reg = build(window=40, d=9, c_lat=20)
+        run_cycles(ctl, sq, mq, frame, 50)
+        before = frame.journal_length
+        out = ctl.execute(detection_cycle=49)
+        assert out.undone_frame_updates > 0
+        assert frame.journal_length == before - out.undone_frame_updates
+
+    def test_rollback_drops_matching_batches(self):
+        ctl, sq, mq, frame, reg = build(window=40, d=9, c_lat=20)
+        run_cycles(ctl, sq, mq, frame, 50)
+        out = ctl.execute(detection_cycle=49)
+        assert out.dropped_batches > 0
+
+    def test_rollback_uncorrects_registers(self):
+        ctl, sq, mq, frame, reg = build(window=40, d=9, c_lat=20)
+        run_cycles(ctl, sq, mq, frame, 50)
+        reg.write_raw(0, 1, cycle=30)
+        reg.mark_corrected(0, 1, cycle=40)
+        out = ctl.execute(detection_cycle=49)
+        assert out.uncorrected_registers == [0]
+        assert reg.read(0) is None
+
+    def test_rollback_denied_when_host_already_read(self):
+        ctl, sq, mq, frame, reg = build(window=40, d=9, c_lat=20)
+        run_cycles(ctl, sq, mq, frame, 50)
+        reg.write_raw(0, 1, cycle=30)
+        reg.mark_corrected(0, 1, cycle=40)
+        reg.read(0)
+        with pytest.raises(RollbackDenied):
+            ctl.execute(detection_cycle=49)
+
+    def test_rollback_allowed_for_old_reads(self):
+        ctl, sq, mq, frame, reg = build(window=40, d=9, c_lat=20)
+        run_cycles(ctl, sq, mq, frame, 50)
+        reg.write_raw(0, 1, cycle=5)
+        reg.mark_corrected(0, 1, cycle=10)
+        reg.read(0)  # corrected before the rollback point: fine
+        out = ctl.execute(detection_cycle=49)
+        assert out.uncorrected_registers == []
+
+    def test_rollback_clamped_to_retained_window(self):
+        ctl, sq, mq, frame, reg = build(window=10, d=9, c_lat=20)
+        run_cycles(ctl, sq, mq, frame, 50)
+        out = ctl.execute(detection_cycle=49)
+        # Full depth would be cycle 20, but only cycles 40..49 remain.
+        assert out.rollback_cycle == 40
+        assert len(out.replay_layers) == 10
+
+    def test_read_stall_bound(self):
+        ctl, *_ = build(d=9, c_lat=20)
+        # Sec. VIII-B: the read waits d + c_lat instead of d cycles.
+        assert ctl.read_stall_cycles() == 29
+        assert ctl.read_stall_cycles() / 9 == pytest.approx(1 + 20 / 9)

@@ -1,0 +1,92 @@
+"""Property tests: rollback must hand back exactly what was recorded.
+
+The whole re-execution scheme rests on two invariants:
+
+1. the syndrome layers replayed after a rollback are bit-identical to
+   the layers originally streamed in for those cycles (no snapshots, no
+   loss);
+2. undoing the Pauli-frame journal and replaying the same updates is a
+   no-op (updates are involutions applied in order).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.buffers import (
+    MatchingQueue,
+    MatchRecord,
+    SyndromeQueue,
+)
+from repro.arch.pauli_frame import ClassicalRegister, PauliFrame
+from repro.core.reexecution import RollbackController
+
+
+@st.composite
+def streams(draw):
+    cycles = draw(st.integers(10, 60))
+    shape = (4, 5)
+    seed = draw(st.integers(0, 2 ** 16))
+    rng = np.random.default_rng(seed)
+    layers = (rng.random((cycles, *shape)) < 0.2).astype(np.uint8)
+    detection = draw(st.integers(5, cycles - 1))
+    c_lat = draw(st.integers(1, 20))
+    return layers, detection, c_lat
+
+
+class TestReplayFidelity:
+    @settings(max_examples=40, deadline=None)
+    @given(streams())
+    def test_replayed_layers_match_originals(self, data):
+        layers, detection, c_lat = data
+        cycles = len(layers)
+        d = 5
+        queue = SyndromeQueue((4, 5), window=cycles)  # retain everything
+        mq = MatchingQueue(c_win=cycles)
+        frame = PauliFrame(1)
+        reg = ClassicalRegister()
+        ctl = RollbackController(queue, mq, frame, reg, distance=d,
+                                 c_lat=c_lat)
+        for t in range(cycles):
+            queue.push(t, layers[t])
+            mq.record(MatchRecord(t, cut_parity=int(layers[t].sum()) & 1,
+                                  num_matches=1))
+        out = ctl.execute(detection)
+        expected_start = max(0, detection - c_lat - d)
+        assert out.rollback_cycle == expected_start
+        replay = np.stack(out.replay_layers)
+        assert np.array_equal(replay, layers[expected_start:])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 50), st.booleans(),
+                              st.booleans()), min_size=1, max_size=40),
+           st.integers(0, 50))
+    def test_frame_rollback_then_replay_is_identity(self, updates, cut):
+        updates = sorted(updates, key=lambda u: u[0])
+        frame = PauliFrame(1)
+        for cycle, fx, fz in updates:
+            frame.apply(cycle, 0, flip_x=fx, flip_z=fz)
+        before = (frame.x[0], frame.z[0])
+        undone = frame.rollback_to(cut)
+        for upd in undone:
+            frame.apply(upd.cycle, upd.qubit, upd.flip_x, upd.flip_z)
+        assert (frame.x[0], frame.z[0]) == before
+
+    @settings(max_examples=40, deadline=None)
+    @given(streams())
+    def test_matching_queue_parity_restored_by_replay(self, data):
+        """Dropping batches and re-recording the same summaries restores
+        the accumulated north-cut parity."""
+        layers, detection, _ = data
+        cycles = len(layers)
+        mq = MatchingQueue(c_win=cycles, c_bat=4)
+        records = [MatchRecord(t, cut_parity=int(layers[t].sum()) & 1,
+                               num_matches=1) for t in range(cycles)]
+        for rec in records:
+            mq.record(rec)
+        before = mq.total_cut_parity()
+        dropped = mq.rollback_to(detection)
+        if dropped:
+            replay_from = dropped[0].start_cycle
+            for rec in records[replay_from:]:
+                mq.record(rec)
+            assert mq.total_cut_parity() == before

@@ -1,0 +1,97 @@
+"""Tests for the Fig. 9 scalability model."""
+
+import numpy as np
+import pytest
+
+from repro.scaling.model import (
+    ScalingParameters,
+    average_logical_error_rate,
+    density_curve,
+    required_density,
+)
+
+
+@pytest.fixture
+def params():
+    # Smaller horizon keeps tests fast; rates are time averages so the
+    # shape is unchanged.
+    return ScalingParameters(horizon_cycles=20_000_000)
+
+
+class TestLogicalRateModel:
+    def test_rate_decreases_with_distance(self, params):
+        assert params.logical_rate(21) < params.logical_rate(11)
+
+    def test_rate_formula(self, params):
+        # d_eff = 11: floor(12/2) = 6 halvings of 10x each.
+        assert params.logical_rate(11) == pytest.approx(0.1 * 0.1 ** 6)
+
+    def test_degenerate_distance_saturates(self, params):
+        assert params.logical_rate(0) == 1.0
+
+    def test_code_distance_scales_with_budget(self, params):
+        assert params.code_distance(1, 1) == 11
+        assert params.code_distance(4, 1) == 22
+        assert params.code_distance(1, 4) == 22
+
+    def test_anomaly_grows_with_density(self, params):
+        assert params.anomaly_qubits(1) == 4
+        assert params.anomaly_qubits(4) == 8
+
+
+class TestAverageRate:
+    def test_no_rays_equals_base_rate(self, params):
+        from dataclasses import replace
+        quiet = replace(params, frequency_hz=0.0)
+        rate = average_logical_error_rate(quiet, 1.0, 1.0, use_q3de=False)
+        assert rate == pytest.approx(quiet.logical_rate(11))
+
+    def test_q3de_never_worse_than_baseline(self, params):
+        for area, density in [(1, 4), (2, 2), (4, 8)]:
+            base = average_logical_error_rate(
+                params, area, density, use_q3de=False,
+                rng=np.random.default_rng(0))
+            q3de = average_logical_error_rate(
+                params, area, density, use_q3de=True,
+                rng=np.random.default_rng(0))
+            assert q3de <= base + 1e-30
+
+    def test_rays_increase_average_rate(self, params):
+        from dataclasses import replace
+        quiet = replace(params, frequency_hz=0.0)
+        noisy_rate = average_logical_error_rate(
+            params, 1.0, 4.0, use_q3de=False,
+            rng=np.random.default_rng(1))
+        quiet_rate = average_logical_error_rate(
+            quiet, 1.0, 4.0, use_q3de=False)
+        assert noisy_rate > quiet_rate
+
+
+class TestRequiredDensity:
+    def test_q3de_needs_less_density(self, params):
+        base = required_density(params, area_ratio=4.0, use_q3de=False)
+        q3de = required_density(params, area_ratio=4.0, use_q3de=True)
+        assert base is not None and q3de is not None
+        assert q3de <= base
+
+    def test_density_falls_with_area_without_rays(self):
+        from dataclasses import replace
+        quiet = ScalingParameters(frequency_hz=0.0,
+                                  horizon_cycles=1_000_000)
+        d_small = required_density(quiet, 1.0, use_q3de=False)
+        d_large = required_density(quiet, 8.0, use_q3de=False)
+        assert d_small is not None and d_large is not None
+        assert d_large < d_small
+
+    def test_curve_matches_pointwise(self, params):
+        areas = [2.0, 8.0]
+        curve = density_curve(params, areas, use_q3de=True, seed=0)
+        assert curve == [required_density(params, a, True, seed=0)
+                         for a in areas]
+
+    def test_unreachable_target_returns_none(self):
+        # Enormous anomaly at tiny max density: no solution.
+        params = ScalingParameters(anomaly_size=64,
+                                   horizon_cycles=1_000_000)
+        assert required_density(params, 1.0, use_q3de=False,
+                                max_density=1.5) is None

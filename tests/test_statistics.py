@@ -1,0 +1,121 @@
+"""Tests for the CLT syndrome statistics (Sec. IV-A)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.statistics import (
+    SyndromeStatistics,
+    detection_threshold,
+    expected_activity_rate,
+    recommended_count_threshold,
+)
+
+
+class TestSyndromeStatistics:
+    def test_from_activity_rate(self):
+        stats = SyndromeStatistics.from_activity_rate(0.25)
+        assert stats.mu == 0.25
+        assert stats.sigma == pytest.approx(math.sqrt(0.25 * 0.75))
+
+    def test_calibrate_recovers_rate(self):
+        rng = np.random.default_rng(0)
+        stream = (rng.random(200_000) < 0.1).astype(int)
+        stats = SyndromeStatistics.calibrate(stream)
+        assert stats.mu == pytest.approx(0.1, abs=0.005)
+        assert stats.sigma == pytest.approx(math.sqrt(0.09), abs=0.01)
+
+    def test_calibrate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SyndromeStatistics.calibrate(np.array([]))
+
+    def test_invalid_mu_rejected(self):
+        with pytest.raises(ValueError):
+            SyndromeStatistics(1.5, 0.1)
+
+
+class TestActivityRate:
+    def test_zero_noise(self):
+        assert expected_activity_rate(0.0) == 0.0
+
+    def test_half_noise_saturates(self):
+        assert expected_activity_rate(0.5) == pytest.approx(0.5)
+
+    def test_small_p_linear(self):
+        # For small p the odd-parity probability is about degree * p.
+        assert expected_activity_rate(1e-4) == pytest.approx(6e-4, rel=0.01)
+
+    def test_matches_simulation(self):
+        """Analytic bulk rate must match the real syndrome process."""
+        from repro.decoding.graph import SyndromeLattice
+        from repro.noise import PhenomenologicalNoise
+        rng = np.random.default_rng(3)
+        d, p = 9, 0.01
+        noise = PhenomenologicalNoise(d, p)
+        v, h, m = noise.sample(8000, rng)
+        stream = SyndromeLattice(d).per_cycle_activity(v, h, m)
+        bulk = stream[1:, 3, 3]  # interior node, skip the first layer
+        assert bulk.mean() == pytest.approx(expected_activity_rate(p),
+                                            rel=0.15)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            expected_activity_rate(0.6)
+
+
+class TestDetectionThreshold:
+    def test_threshold_above_mean(self):
+        stats = SyndromeStatistics.from_activity_rate(0.01)
+        v_th = detection_threshold(stats, c_win=300, alpha=0.01)
+        assert v_th > 300 * 0.01
+
+    def test_threshold_grows_with_confidence(self):
+        stats = SyndromeStatistics.from_activity_rate(0.01)
+        loose = detection_threshold(stats, 300, alpha=0.1)
+        tight = detection_threshold(stats, 300, alpha=0.001)
+        assert tight > loose
+
+    def test_false_positive_rate_matches_alpha(self):
+        """Empirical check of Eq. (3) on the even-cycle counting model."""
+        rng = np.random.default_rng(7)
+        mu = 0.05
+        stats = SyndromeStatistics.from_activity_rate(mu)
+        c_win, alpha = 400, 0.05
+        v_th = detection_threshold(stats, c_win, alpha)
+        counts = rng.binomial(c_win, mu, size=20_000)
+        rate = float(np.mean(counts > v_th))
+        assert rate == pytest.approx(alpha, abs=0.02)
+
+    def test_invalid_inputs_rejected(self):
+        stats = SyndromeStatistics.from_activity_rate(0.01)
+        with pytest.raises(ValueError):
+            detection_threshold(stats, 0)
+        with pytest.raises(ValueError):
+            detection_threshold(stats, 10, alpha=0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(1e-4, 0.3), st.integers(10, 2000))
+    def test_threshold_monotone_in_window(self, mu, c_win):
+        stats = SyndromeStatistics.from_activity_rate(mu)
+        assert (detection_threshold(stats, c_win + 100)
+                > detection_threshold(stats, c_win))
+
+
+class TestCountThreshold:
+    def test_paper_regime_has_valid_interval(self):
+        # p_L = 1e-10, alpha = 0.01, d_ano = 4: criterion nonempty?
+        lo, hi = recommended_count_threshold(1e-10, 0.01, 4)
+        assert lo < hi
+        assert lo < 20 < hi or hi <= 20  # n_th = 20 is the paper's pick
+
+    def test_interval_empty_means_tolerant(self):
+        lo, hi = recommended_count_threshold(1e-30, 0.5, 2)
+        assert lo > hi  # already tolerant per the paper's remark
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            recommended_count_threshold(0.0, 0.01, 4)
+        with pytest.raises(ValueError):
+            recommended_count_threshold(0.5, 1.0, 4)

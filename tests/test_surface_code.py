@@ -1,0 +1,189 @@
+"""Tests for the planar surface-code layout and stabilizer structure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stab.pauli import Pauli
+from repro.stab.tableau import StabilizerSimulator
+from repro.surface_code import PlanarSurfaceCode, Site, StabilizerMap
+
+
+class TestCounts:
+    @pytest.mark.parametrize("d", [2, 3, 4, 5, 7, 9])
+    def test_data_qubit_count(self, d):
+        code = PlanarSurfaceCode(d)
+        assert code.num_data_qubits == d * d + (d - 1) * (d - 1)
+
+    @pytest.mark.parametrize("d", [2, 3, 4, 5, 7])
+    def test_stabilizer_counts(self, d):
+        code = PlanarSurfaceCode(d)
+        assert code.num_z_stabilizers == d * (d - 1)
+        assert code.num_x_stabilizers == d * (d - 1)
+
+    @pytest.mark.parametrize("d", [2, 3, 5])
+    def test_one_logical_qubit(self, d):
+        # k = n - (number of independent stabilizers) must be 1.
+        code = PlanarSurfaceCode(d)
+        n = code.num_data_qubits
+        stabs = code.num_z_stabilizers + code.num_x_stabilizers
+        assert n - stabs == 1
+
+    def test_distance_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            PlanarSurfaceCode(1)
+
+
+class TestSiteClassification:
+    def test_site_roles_are_disjoint_and_exhaustive(self):
+        code = PlanarSurfaceCode(4)
+        for r in range(code.grid_size):
+            for c in range(code.grid_size):
+                site = Site(r, c)
+                roles = [code.is_data_site(site),
+                         code.is_z_ancilla_site(site),
+                         code.is_x_ancilla_site(site)]
+                assert sum(roles) == 1
+
+    def test_stabilizer_support_weights(self):
+        code = PlanarSurfaceCode(5)
+        for anc in code.z_ancilla_sites + code.x_ancilla_sites:
+            weight = len(code.stabilizer_support(anc))
+            assert weight in (3, 4)  # boundary vs bulk
+
+    def test_bulk_stabilizer_has_weight_four(self):
+        code = PlanarSurfaceCode(5)
+        assert len(code.stabilizer_support(Site(3, 4))) == 4
+
+    def test_support_of_data_site_rejected(self):
+        code = PlanarSurfaceCode(3)
+        with pytest.raises(ValueError):
+            code.stabilizer_support(Site(0, 0))
+
+
+class TestCommutation:
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_all_stabilizers_commute(self, d):
+        code = PlanarSurfaceCode(d)
+        stabs = code.z_stabilizer_paulis() + code.x_stabilizer_paulis()
+        for i in range(len(stabs)):
+            for j in range(i + 1, len(stabs)):
+                assert stabs[i].commutes_with(stabs[j])
+
+    @pytest.mark.parametrize("d", [2, 3, 5])
+    def test_logicals_commute_with_stabilizers(self, d):
+        code = PlanarSurfaceCode(d)
+        lx, lz = code.logical_x(), code.logical_z()
+        for stab in code.z_stabilizer_paulis() + code.x_stabilizer_paulis():
+            assert lx.commutes_with(stab)
+            assert lz.commutes_with(stab)
+
+    @pytest.mark.parametrize("d", [2, 3, 5])
+    def test_logical_x_anticommutes_with_logical_z(self, d):
+        code = PlanarSurfaceCode(d)
+        assert not code.logical_x().commutes_with(code.logical_z())
+
+    @pytest.mark.parametrize("d", [3, 5])
+    def test_logical_weight_equals_distance(self, d):
+        code = PlanarSurfaceCode(d)
+        assert code.logical_x().weight == d
+        assert code.logical_z().weight == d
+
+    def test_parallel_logicals_are_equivalent_up_to_stabilizers(self):
+        # logical X in column 0 and column 1 differ by a product of
+        # X-stabilizers: both anticommute with Z_L, commute with stabs.
+        code = PlanarSurfaceCode(3)
+        x0, x1 = code.logical_x(0), code.logical_x(1)
+        diff = x0 * x1
+        for stab in code.z_stabilizer_paulis():
+            assert diff.commutes_with(stab)
+        assert diff.commutes_with(code.logical_z())
+
+
+class TestDecodingCoords:
+    def test_z_node_grid_shape(self):
+        code = PlanarSurfaceCode(5)
+        coords = [code.z_node_coords(a) for a in code.z_ancilla_sites]
+        rows = {r for r, _ in coords}
+        cols = {c for _, c in coords}
+        assert rows == set(range(4))   # d-1 rows
+        assert cols == set(range(5))   # d cols
+
+    def test_x_node_grid_shape(self):
+        code = PlanarSurfaceCode(5)
+        coords = [code.x_node_coords(a) for a in code.x_ancilla_sites]
+        rows = {r for r, _ in coords}
+        cols = {c for _, c in coords}
+        assert rows == set(range(5))
+        assert cols == set(range(4))
+
+    def test_wrong_kind_coords_rejected(self):
+        code = PlanarSurfaceCode(3)
+        with pytest.raises(ValueError):
+            code.z_node_coords(code.x_ancilla_sites[0])
+
+    def test_x_error_flips_adjacent_z_syndromes(self):
+        """A single X error flips exactly its neighbouring Z stabilizers."""
+        code = PlanarSurfaceCode(3)
+        for q, site in enumerate(code.data_sites):
+            err = Pauli.single(code.num_data_qubits, q, "X")
+            flipped = [anc for anc, stab in
+                       zip(code.z_ancilla_sites, code.z_stabilizer_paulis())
+                       if not stab.commutes_with(err)]
+            expected = [anc for anc in code.z_ancilla_sites
+                        if site in anc.neighbors()]
+            assert flipped == expected
+            assert len(flipped) in (1, 2)
+
+
+class TestStabilizerMap:
+    def test_for_code_covers_all_ancillas(self):
+        code = PlanarSurfaceCode(4)
+        smap = StabilizerMap.for_code(code)
+        assert len(smap) == code.num_z_stabilizers + code.num_x_stabilizers
+
+    def test_for_code_covers_all_data(self):
+        code = PlanarSurfaceCode(4)
+        smap = StabilizerMap.for_code(code)
+        assert smap.data_sites() == set(code.data_sites)
+
+    def test_snapshot_is_independent(self):
+        code = PlanarSurfaceCode(3)
+        smap = StabilizerMap.for_code(code)
+        snap = smap.snapshot()
+        smap.remove(code.z_ancilla_sites[0])
+        assert code.z_ancilla_sites[0] in snap
+        assert code.z_ancilla_sites[0] not in smap
+
+    def test_of_kind_partitions(self):
+        code = PlanarSurfaceCode(3)
+        smap = StabilizerMap.for_code(code)
+        assert (len(smap.of_kind("Z")) + len(smap.of_kind("X"))
+                == len(smap))
+
+
+class TestEncodedState:
+    """Project |0..0> into the code space with the tableau simulator."""
+
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_logical_zero_is_z_eigenstate(self, d):
+        import numpy as np
+        code = PlanarSurfaceCode(d)
+        sim = StabilizerSimulator(code.num_data_qubits,
+                                  rng=np.random.default_rng(7))
+        for stab in code.x_stabilizer_paulis():
+            sim.measure_pauli(stab)
+        # After projection the logical Z value is still deterministic +1.
+        assert sim.expectation(code.logical_z()) == 1
+        # And every stabilizer is now deterministic.
+        for stab in code.z_stabilizer_paulis():
+            assert sim.expectation_is_deterministic(stab)
+
+    def test_logical_x_flips_encoded_zero(self):
+        import numpy as np
+        code = PlanarSurfaceCode(3)
+        sim = StabilizerSimulator(code.num_data_qubits,
+                                  rng=np.random.default_rng(8))
+        for stab in code.x_stabilizer_paulis():
+            sim.measure_pauli(stab)
+        sim.apply_pauli(code.logical_x())
+        assert sim.expectation(code.logical_z()) == -1

@@ -1,0 +1,162 @@
+"""Tests for syndrome extraction and the difference lattice."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.decoding.graph import SyndromeLattice
+from repro.noise import PhenomenologicalNoise
+
+
+def empty_errors(d, t):
+    v = np.zeros((t, d, d), dtype=bool)
+    h = np.zeros((t, d - 1, d - 1), dtype=bool)
+    m = np.zeros((t, d - 1, d), dtype=bool)
+    return v, h, m
+
+
+class TestSyndromes:
+    def test_no_errors_no_active_nodes(self):
+        lat = SyndromeLattice(5)
+        v, h, m = empty_errors(5, 5)
+        assert len(lat.detection_events(v, h, m)) == 0
+
+    def test_single_bulk_v_error_flips_two_nodes(self):
+        lat = SyndromeLattice(5)
+        v, h, m = empty_errors(5, 5)
+        v[2, 2, 1] = True  # edge between node rows 1 and 2, column 1
+        nodes = lat.detection_events(v, h, m)
+        coords = {tuple(n) for n in nodes}
+        assert coords == {(2, 1, 1), (2, 2, 1)}
+
+    def test_north_boundary_edge_flips_one_node(self):
+        lat = SyndromeLattice(5)
+        v, h, m = empty_errors(5, 5)
+        v[0, 0, 3] = True  # north boundary edge of column 3
+        nodes = lat.detection_events(v, h, m)
+        coords = {tuple(n) for n in nodes}
+        assert coords == {(0, 0, 3)}
+
+    def test_south_boundary_edge_flips_one_node(self):
+        lat = SyndromeLattice(5)
+        v, h, m = empty_errors(5, 5)
+        v[1, 4, 2] = True  # south boundary edge (k = d-1)
+        nodes = lat.detection_events(v, h, m)
+        coords = {tuple(n) for n in nodes}
+        assert coords == {(1, 3, 2)}
+
+    def test_h_error_flips_horizontal_neighbours(self):
+        lat = SyndromeLattice(5)
+        v, h, m = empty_errors(5, 5)
+        h[0, 2, 1] = True  # edge between nodes (2,1) and (2,2)
+        nodes = lat.detection_events(v, h, m)
+        coords = {tuple(n) for n in nodes}
+        assert coords == {(0, 2, 1), (0, 2, 2)}
+
+    def test_measurement_error_flips_two_time_layers(self):
+        lat = SyndromeLattice(5)
+        v, h, m = empty_errors(5, 5)
+        m[2, 1, 1] = True
+        nodes = lat.detection_events(v, h, m)
+        coords = {tuple(n) for n in nodes}
+        assert coords == {(2, 1, 1), (3, 1, 1)}
+
+    def test_final_round_measurement_error_flips_last_two_layers(self):
+        lat = SyndromeLattice(5)
+        v, h, m = empty_errors(5, 5)
+        m[4, 1, 1] = True  # last noisy round; perfect round is layer 5
+        nodes = lat.detection_events(v, h, m)
+        coords = {tuple(n) for n in nodes}
+        assert coords == {(4, 1, 1), (5, 1, 1)}
+
+    def test_error_in_second_cycle_appears_at_its_layer(self):
+        lat = SyndromeLattice(5)
+        v, h, m = empty_errors(5, 5)
+        v[3, 2, 1] = True
+        nodes = lat.detection_events(v, h, m)
+        assert {tuple(n) for n in nodes} == {(3, 1, 1), (3, 2, 1)}
+
+    def test_repeated_error_cancels(self):
+        lat = SyndromeLattice(5)
+        v, h, m = empty_errors(5, 5)
+        v[1, 2, 1] = True
+        v[2, 2, 1] = True  # same edge next cycle: flips back
+        nodes = lat.detection_events(v, h, m)
+        coords = {tuple(n) for n in nodes}
+        # Activation at t=1, deactivation at t=2 on both nodes.
+        assert coords == {(1, 1, 1), (1, 2, 1), (2, 1, 1), (2, 2, 1)}
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            SyndromeLattice(1)
+
+
+class TestCutParity:
+    def test_no_errors_even(self):
+        v = np.zeros((4, 5, 5), dtype=bool)
+        assert SyndromeLattice.error_cut_parity(v) == 0
+
+    def test_single_north_edge_odd(self):
+        v = np.zeros((4, 5, 5), dtype=bool)
+        v[1, 0, 2] = True
+        assert SyndromeLattice.error_cut_parity(v) == 1
+
+    def test_two_north_edges_even(self):
+        v = np.zeros((4, 5, 5), dtype=bool)
+        v[1, 0, 2] = True
+        v[2, 0, 4] = True
+        assert SyndromeLattice.error_cut_parity(v) == 0
+
+    def test_non_north_edges_ignored(self):
+        v = np.ones((4, 5, 5), dtype=bool)
+        v[:, 0, :] = False
+        assert SyndromeLattice.error_cut_parity(v) == 0
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 7), st.integers(1, 8), st.integers(0, 10_000))
+    def test_active_node_count_is_even_counting_boundaries(self, d, t, seed):
+        """Every error flips 0 or 2 nodes *including* virtual boundaries.
+
+        Nodes from boundary-adjacent data edges come alone, but the total
+        parity of active nodes plus boundary-terminating errors is even.
+        We check the weaker invariant that decoding is well-posed: the
+        difference lattice equals what re-deriving from layers gives.
+        """
+        rng = np.random.default_rng(seed)
+        noise = PhenomenologicalNoise(d, 0.1)
+        v, h, m = noise.sample(t, rng)
+        lat = SyndromeLattice(d)
+        layers = lat.measured_layers(v, h, m)
+        diff = lat.difference_lattice(layers)
+        # XOR of all difference layers telescopes back to the last layer.
+        assert np.array_equal(
+            np.bitwise_xor.reduce(diff, axis=0), layers[-1])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 6), st.integers(1, 6), st.integers(0, 10_000))
+    def test_bulk_data_errors_flip_exactly_two_nodes(self, d, t, seed):
+        """With only one bulk data error, exactly two nodes activate."""
+        rng = np.random.default_rng(seed)
+        v, h, m = empty_errors(d, t)
+        tt = int(rng.integers(0, t))
+        if d >= 3:
+            k = int(rng.integers(1, d - 1))
+            j = int(rng.integers(0, d))
+            v[tt, k, j] = True
+            lat = SyndromeLattice(d)
+            assert len(lat.detection_events(v, h, m)) == 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 6), st.integers(2, 8), st.integers(0, 10_000))
+    def test_activity_stream_matches_difference_lattice(self, d, t, seed):
+        rng = np.random.default_rng(seed)
+        noise = PhenomenologicalNoise(d, 0.05)
+        v, h, m = noise.sample(t, rng)
+        lat = SyndromeLattice(d)
+        stream = lat.per_cycle_activity(v, h, m)
+        layers = lat.measured_layers(v, h, m)
+        diff = lat.difference_lattice(layers)
+        # The live stream is the noisy-round prefix of the analysis lattice.
+        assert np.array_equal(stream, diff[:t])

@@ -1,0 +1,225 @@
+"""Tests for the CHP stabilizer tableau simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stab.pauli import Pauli
+from repro.stab.tableau import StabilizerSimulator
+
+
+def sim(n, seed=0):
+    return StabilizerSimulator(n, rng=np.random.default_rng(seed))
+
+
+class TestBasics:
+    def test_initial_state_measures_zero(self):
+        s = sim(3)
+        assert [s.measure_z(q) for q in range(3)] == [0, 0, 0]
+
+    def test_x_flips_measurement(self):
+        s = sim(1)
+        s.x_gate(0)
+        assert s.measure_z(0) == 1
+
+    def test_h_then_h_is_identity(self):
+        s = sim(1)
+        s.h(0)
+        s.h(0)
+        assert s.measure_z(0) == 0
+
+    def test_plus_state_measures_x_deterministically(self):
+        s = sim(1)
+        s.h(0)
+        assert s.measure_x(0) == 0
+
+    def test_s_squared_is_z(self):
+        s = sim(1)
+        s.h(0)  # |+>
+        s.s(0)
+        s.s(0)  # Z|+> = |->
+        assert s.measure_x(0) == 1
+
+    def test_y_on_plus_gives_minus(self):
+        s = sim(1)
+        s.h(0)
+        s.y_gate(0)
+        assert s.measure_x(0) == 1
+
+    def test_cx_copies_in_z_basis(self):
+        s = sim(2)
+        s.x_gate(0)
+        s.cx(0, 1)
+        assert s.measure_z(1) == 1
+
+    def test_cx_rejects_equal_control_target(self):
+        with pytest.raises(ValueError):
+            sim(2).cx(1, 1)
+
+    def test_cz_phase_on_plus_plus(self):
+        s = sim(2)
+        s.h(0)
+        s.h(1)
+        s.cz(0, 1)
+        s.cz(0, 1)  # CZ^2 = I
+        assert s.measure_x(0) == 0
+        assert s.measure_x(1) == 0
+
+    def test_num_qubits_must_be_positive(self):
+        with pytest.raises(ValueError):
+            StabilizerSimulator(0)
+
+
+class TestMeasurement:
+    def test_random_measurement_collapses(self):
+        s = sim(1, seed=5)
+        s.h(0)
+        first = s.measure_z(0)
+        for _ in range(5):
+            assert s.measure_z(0) == first
+
+    def test_forced_random_outcome(self):
+        s = sim(1)
+        s.h(0)
+        assert s.measure_z(0, forced=1) == 1
+        assert s.measure_z(0) == 1
+
+    def test_forcing_deterministic_outcome_wrong_raises(self):
+        s = sim(1)
+        with pytest.raises(ValueError):
+            s.measure_z(0, forced=1)
+
+    def test_bell_pair_correlations(self):
+        for seed in range(6):
+            s = sim(2, seed=seed)
+            s.h(0)
+            s.cx(0, 1)
+            assert s.measure_z(0) == s.measure_z(1)
+
+    def test_ghz_parity(self):
+        for seed in range(4):
+            s = sim(3, seed=seed)
+            s.h(0)
+            s.cx(0, 1)
+            s.cx(0, 2)
+            bits = [s.measure_z(q) for q in range(3)]
+            assert len(set(bits)) == 1  # all equal
+
+    def test_measure_pauli_zz_on_bell(self):
+        s = sim(2, seed=1)
+        s.h(0)
+        s.cx(0, 1)
+        assert s.measure_pauli(Pauli.from_label("ZZ")) == 0
+        assert s.measure_pauli(Pauli.from_label("XX")) == 0
+
+    def test_measure_pauli_negative_observable(self):
+        s = sim(1)
+        assert s.measure_pauli(Pauli.from_label("Z")) == 0
+        assert s.measure_pauli(Pauli.from_label("-Z")) == 1
+
+    def test_measure_pauli_rejects_imaginary_phase(self):
+        s = sim(1)
+        with pytest.raises(ValueError):
+            s.measure_pauli(Pauli.from_label("iZ"))
+
+    def test_measure_pauli_y_eigenstate(self):
+        s = sim(1)
+        s.h(0)
+        s.s(0)  # S|+> = |+i>, a +1 eigenstate of Y
+        assert s.measure_pauli(Pauli.from_label("Y")) == 0
+
+    def test_measure_pauli_does_not_disturb_eigenstate(self):
+        s = sim(2, seed=3)
+        s.h(0)
+        s.cx(0, 1)
+        for _ in range(4):
+            assert s.measure_pauli(Pauli.from_label("XX")) == 0
+            assert s.measure_pauli(Pauli.from_label("ZZ")) == 0
+
+
+class TestQueries:
+    def test_expectation_deterministic_cases(self):
+        s = sim(1)
+        assert s.expectation(Pauli.from_label("Z")) == 1
+        assert s.expectation(Pauli.from_label("X")) == 0
+        s.x_gate(0)
+        assert s.expectation(Pauli.from_label("Z")) == -1
+
+    def test_stabilizer_generators_of_zero_state(self):
+        s = sim(2)
+        gens = s.stabilizer_generators()
+        labels = {g.to_label() for g in gens}
+        assert labels == {"+ZI", "+IZ"}
+
+    def test_copy_is_independent(self):
+        s = sim(1)
+        t = s.copy()
+        t.x_gate(0)
+        assert s.measure_z(0) == 0
+        assert t.measure_z(0) == 1
+
+    def test_apply_pauli_frame_update(self):
+        s = sim(2)
+        s.apply_pauli(Pauli.from_label("XI"))
+        assert s.measure_z(0) == 1
+        assert s.measure_z(1) == 0
+
+
+@st.composite
+def clifford_circuit(draw, n, depth=st.integers(0, 20)):
+    ops = []
+    for _ in range(draw(depth)):
+        kind = draw(st.sampled_from(["h", "s", "x", "z", "cx"]))
+        if kind == "cx" and n >= 2:
+            a = draw(st.integers(0, n - 1))
+            b = draw(st.integers(0, n - 1).filter(lambda q: q != a))
+            ops.append(("cx", a, b))
+        elif kind != "cx":
+            ops.append((kind, draw(st.integers(0, n - 1))))
+    return ops
+
+
+def run_circuit(s, ops):
+    for op in ops:
+        if op[0] == "cx":
+            s.cx(op[1], op[2])
+        elif op[0] == "h":
+            s.h(op[1])
+        elif op[0] == "s":
+            s.s(op[1])
+        elif op[0] == "x":
+            s.x_gate(op[1])
+        elif op[0] == "z":
+            s.z_gate(op[1])
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_stabilizers_always_commute(self, data):
+        n = data.draw(st.integers(2, 5))
+        s = sim(n, seed=data.draw(st.integers(0, 100)))
+        run_circuit(s, data.draw(clifford_circuit(n)))
+        gens = s.stabilizer_generators()
+        for i in range(n):
+            for j in range(i + 1, n):
+                assert gens[i].commutes_with(gens[j])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_stabilizers_have_plus_one_expectation(self, data):
+        n = data.draw(st.integers(2, 4))
+        s = sim(n, seed=data.draw(st.integers(0, 100)))
+        run_circuit(s, data.draw(clifford_circuit(n)))
+        for gen in s.stabilizer_generators():
+            assert s.expectation(gen) == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_repeated_z_measurement_is_stable(self, data):
+        n = data.draw(st.integers(1, 4))
+        s = sim(n, seed=data.draw(st.integers(0, 100)))
+        run_circuit(s, data.draw(clifford_circuit(n)))
+        q = data.draw(st.integers(0, n - 1))
+        first = s.measure_z(q)
+        assert s.measure_z(q) == first

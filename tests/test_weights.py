@@ -1,0 +1,155 @@
+"""Tests for matching distance models (uniform and anomaly-aware)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.decoding.weights import (
+    NORTH,
+    SOUTH,
+    DistanceModel,
+    llr_weight,
+    relative_anomalous_weight,
+)
+from repro.noise import AnomalousRegion
+
+
+class TestWeights:
+    def test_llr_weight_monotone(self):
+        assert llr_weight(0.001) > llr_weight(0.01) > llr_weight(0.1)
+
+    def test_llr_weight_of_half_is_zero(self):
+        assert llr_weight(0.5) == pytest.approx(0.0)
+
+    def test_llr_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            llr_weight(0.0)
+        with pytest.raises(ValueError):
+            llr_weight(1.0)
+
+    def test_relative_weight_half_is_zero(self):
+        assert relative_anomalous_weight(0.01, 0.5) == 0.0
+
+    def test_relative_weight_clipped_above_half(self):
+        assert relative_anomalous_weight(0.01, 0.9) == 0.0
+
+    def test_relative_weight_between_zero_and_one(self):
+        w = relative_anomalous_weight(0.001, 0.1)
+        assert 0.0 < w < 1.0
+
+
+class TestUniformDistances:
+    def test_node_distance_is_manhattan(self):
+        model = DistanceModel(9)
+        assert model.node_distance((0, 0, 0), (3, 2, 4)) == 9.0
+
+    def test_pairwise_symmetry_and_zero_diagonal(self):
+        model = DistanceModel(7)
+        nodes = np.array([[0, 1, 2], [3, 4, 5], [1, 0, 6]])
+        dist = model.pairwise(nodes)
+        assert np.allclose(dist, dist.T)
+        assert np.allclose(np.diag(dist), 0.0)
+
+    def test_boundary_prefers_north_when_closer(self):
+        model = DistanceModel(9)
+        dist, side = model.boundary_distance((0, 1, 4))
+        assert dist == 2.0
+        assert side == NORTH
+
+    def test_boundary_prefers_south_when_closer(self):
+        model = DistanceModel(9)
+        dist, side = model.boundary_distance((0, 6, 4))
+        assert dist == 2.0  # d-1-i = 8-6
+        assert side == SOUTH
+
+    def test_boundary_middle_distance(self):
+        model = DistanceModel(9)
+        dist, _ = model.boundary_distance((0, 3, 0))
+        assert dist == 4.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(3, 15), st.data())
+    def test_triangle_inequality(self, d, data):
+        model = DistanceModel(d)
+        coords = st.tuples(st.integers(0, 20), st.integers(0, d - 2),
+                           st.integers(0, d - 1))
+        a, b, c = (data.draw(coords) for _ in range(3))
+        ab = model.node_distance(a, b)
+        bc = model.node_distance(b, c)
+        ac = model.node_distance(a, c)
+        assert ac <= ab + bc + 1e-9
+
+
+class TestRegionDistances:
+    def setup_method(self):
+        # Region covering node rows/cols 2..5 at all times, weight 0.
+        self.region = AnomalousRegion(2, 2, 4)
+        self.model = DistanceModel(9, self.region, w_ano=0.0)
+
+    def test_inside_region_distance_zero(self):
+        assert self.model.node_distance((0, 2, 2), (0, 5, 5)) == 0.0
+
+    def test_via_region_shortcut(self):
+        # (0,0,2) is 2 above the region; (0,7,2) is 2 below: direct 7,
+        # via region 2 + 0 + 2 = 4.
+        d = self.model.node_distance((0, 0, 2), (0, 7, 2))
+        assert d == 4.0
+
+    def test_direct_still_used_when_shorter(self):
+        d = self.model.node_distance((0, 0, 0), (0, 0, 1))
+        assert d == 1.0
+
+    def test_region_never_increases_distance(self):
+        uniform = DistanceModel(9)
+        rng = np.random.default_rng(0)
+        nodes = np.column_stack([
+            rng.integers(0, 10, 30), rng.integers(0, 8, 30),
+            rng.integers(0, 9, 30)])
+        assert np.all(self.model.pairwise(nodes)
+                      <= uniform.pairwise(nodes) + 1e-9)
+
+    def test_boundary_via_region(self):
+        # Node at row 7 below region: south = 1, north direct = 8,
+        # north via region = dist_box(2) + 0 + (row_lo + 1 = 3) = 5.
+        dist, side = self.model.boundary_distance((0, 7, 3))
+        assert dist == 1.0 and side == SOUTH
+        # Force a node where via-region north beats direct north:
+        # node (0, 6, 3): direct north 7, via = 1 + 3 = 4, south = 2.
+        dist, side = self.model.boundary_distance((0, 6, 3))
+        assert dist == 2.0 and side == SOUTH
+
+    def test_boundary_via_region_wins(self):
+        # Narrow lattice where via-region north is the cheapest option:
+        # d=21, region rows 2..5, node at row 8: direct north 9,
+        # south 12, via-region north = (8-5) + 3 = 6.
+        region = AnomalousRegion(2, 2, 4)
+        model = DistanceModel(21, region)
+        dist, side = model.boundary_distance((0, 8, 3))
+        assert dist == 6.0
+        assert side == NORTH
+
+    def test_time_bounds_respected(self):
+        region = AnomalousRegion(2, 2, 4, t_lo=5, t_hi=10)
+        model = DistanceModel(9, region)
+        # At t=0 the region is 5 time-steps away; via-region path for the
+        # same spatial shortcut costs 2 + 5 + 5 + 2 = 14 > direct 7.
+        assert model.node_distance((0, 0, 2), (0, 7, 2)) == 7.0
+        # At t=7 the region is active: shortcut costs 4.
+        assert model.node_distance((7, 0, 2), (7, 7, 2)) == 4.0
+
+    def test_nonzero_anomalous_weight_charges_interior(self):
+        model = DistanceModel(9, self.region, w_ano=0.5)
+        # Interior span of 3 rows costs 0.5 each: 2 + 1.5 + 2 = 5.5.
+        d = model.node_distance((0, 0, 2), (0, 7, 2))
+        assert d == pytest.approx(5.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_scalar_matches_vectorized(self, data):
+        coords = st.tuples(st.integers(0, 12), st.integers(0, 7),
+                           st.integers(0, 8))
+        a = data.draw(coords)
+        b = data.draw(coords)
+        arr = np.array([a, b])
+        assert self.model.node_distance(a, b) == pytest.approx(
+            float(self.model.pairwise(arr)[0, 1]))
