@@ -8,6 +8,9 @@ one command away:
 * ``REPRO_SAMPLES``  -- samples per Monte-Carlo data point (default 200;
   the paper used >= 1e5 over ~6 days of CPU time).
 * ``REPRO_SCALE``    -- multiplier on all workload sizes (default 1.0).
+* ``REPRO_WORKERS``  -- shot-engine parallelism (default 1: batched
+  in-process vectorized path; ``0`` forces the sequential per-shot
+  loops; ``> 1`` fans batches over a process pool of that size).
 """
 
 from __future__ import annotations
@@ -20,6 +23,11 @@ def mc_samples(default: int = 200) -> int:
     """Samples per Monte-Carlo point, from the environment."""
     return max(1, int(float(os.environ.get("REPRO_SAMPLES", default))
                       * scale()))
+
+
+def mc_workers(default: int = 1) -> int:
+    """Shot-engine worker count, from the environment."""
+    return max(0, int(os.environ.get("REPRO_WORKERS", default)))
 
 
 def scale() -> float:

@@ -19,7 +19,7 @@ from repro.arch.buffers import optimal_batch_cycles
 from repro.sim.endtoend import EndToEndExperiment
 from repro.sim.memory import logical_error_rate
 
-from _common import mc_samples, print_table
+from _common import mc_samples, mc_workers, print_table
 
 
 def total_buffer_bits(node_count: int, c_win: int, c_bat: int) -> float:
@@ -56,9 +56,11 @@ def bench_ablation_decoder_family(benchmark):
         rows = []
         for p in ps:
             greedy = logical_error_rate(d, p, samples, decoder="greedy",
-                                        seed=31).per_cycle
+                                        seed=31,
+                                        workers=mc_workers()).per_cycle
             exact = logical_error_rate(d, p, samples, decoder="mwpm",
-                                       seed=32).per_cycle
+                                       seed=32,
+                                       workers=mc_workers()).per_cycle
             rows.append([p, greedy, exact])
         return rows
 
@@ -78,7 +80,8 @@ def bench_ablation_detected_vs_oracle(benchmark):
                              cycles=300, c_win=80, n_th=8)
 
     def run():
-        return exp.run(shots, np.random.default_rng(7))
+        return exp.run(shots, np.random.default_rng(7),
+                       workers=mc_workers())
 
     res = benchmark.pedantic(run, rounds=1, iterations=1)
     rates = res.rates()

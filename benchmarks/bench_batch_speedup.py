@@ -1,0 +1,90 @@
+"""Batched shot engine vs the sequential per-shot path.
+
+Times the Fig. 8 workload (the repo's heaviest Monte-Carlo hot path) at
+equal sample counts through both engines and prints the speedup table.
+The acceptance bar for the batch engine is >= 5x on the Fig. 8 point
+set; ``REPRO_WORKERS > 1`` additionally exercises the process pool.
+
+The batched results are also cross-checked for determinism (same seed,
+same counts) — speed must not cost reproducibility.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.noise import AnomalousRegion
+from repro.sim.memory import MemoryExperiment
+
+from _common import mc_samples, mc_workers, print_table
+
+DISTANCES = [9, 13]
+PHYSICAL_RATES = [8e-3, 1.5e-2, 2.5e-2]
+ANOMALY_SIZE = 4
+
+
+def _points():
+    """The Fig. 8 rate grid: free / naive / informed per (d, p)."""
+    points = []
+    for d in DISTANCES:
+        region = AnomalousRegion.centered(d, ANOMALY_SIZE)
+        for p in PHYSICAL_RATES:
+            points.append((f"d={d} p={p} free", d, p, None, False))
+            points.append((f"d={d} p={p} naive", d, p, region, False))
+            points.append((f"d={d} p={p} rollback", d, p, region, True))
+    return points
+
+
+def _campaign(samples: int, workers: int) -> tuple[float, list[int]]:
+    start = time.perf_counter()
+    failures = []
+    for idx, (_, d, p, region, informed) in enumerate(_points()):
+        exp = MemoryExperiment(d, p, region=region, informed=informed)
+        est = exp.run(samples, np.random.default_rng(idx),
+                      workers=workers, seed=idx)
+        failures.append(est.failures)
+    return time.perf_counter() - start, failures
+
+
+@pytest.mark.benchmark(group="batch")
+def bench_batch_engine_speedup(benchmark):
+    """Whole Fig. 8 grid: sequential vs batched at equal samples."""
+    samples = mc_samples()
+    workers = max(1, mc_workers())
+
+    def run():
+        seq_time, _ = _campaign(samples, workers=0)
+        bat_time, bat_failures = _campaign(samples, workers=workers)
+        rep_time, rep_failures = _campaign(samples, workers=workers)
+        return seq_time, bat_time, bat_failures, rep_failures
+
+    seq_time, bat_time, bat_failures, rep_failures = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    speedup = seq_time / bat_time
+
+    print_table(
+        f"Batch engine speedup (Fig. 8 grid, {samples} samples/point, "
+        f"workers={workers})",
+        ["engine", "wall clock (s)", "speedup"],
+        [["sequential (workers=0)", f"{seq_time:.2f}", "1.0x"],
+         ["batched", f"{bat_time:.2f}", f"{speedup:.1f}x"]])
+
+    # Reproducibility: the same seeds must give the same counts.
+    assert bat_failures == rep_failures
+    # The acceptance bar: the batch engine pays for itself >= 5x.
+    assert speedup >= 5.0, f"batch speedup {speedup:.2f}x < 5x"
+
+
+@pytest.mark.benchmark(group="batch")
+def bench_batch_single_point_timing(benchmark):
+    """Time the heaviest single point (d=13, p=2.5e-2, informed)."""
+    samples = mc_samples()
+    exp = MemoryExperiment(13, 2.5e-2,
+                           region=AnomalousRegion.centered(13, ANOMALY_SIZE),
+                           informed=True)
+    est = benchmark.pedantic(
+        exp.run, args=(samples,),
+        kwargs=dict(workers=max(1, mc_workers()), seed=5),
+        rounds=1, iterations=1)
+    assert est.samples == samples

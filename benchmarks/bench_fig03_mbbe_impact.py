@@ -15,7 +15,7 @@ import pytest
 from repro.noise import AnomalousRegion
 from repro.sim.memory import MemoryExperiment
 
-from _common import mc_samples, print_table
+from _common import mc_samples, mc_workers, print_table
 
 DISTANCES = [9, 13, 17]
 PHYSICAL_RATES = [6e-3, 1e-2, 2e-2, 3e-2, 4e-2]
@@ -30,7 +30,8 @@ def _sweep(with_mbbe: bool, samples: int) -> dict[tuple[int, float], float]:
         for p in PHYSICAL_RATES:
             exp = MemoryExperiment(d, p, region=region)
             seed = hash((d, p, with_mbbe)) % (2 ** 32)
-            est = exp.run(samples, np.random.default_rng(seed))
+            est = exp.run(samples, np.random.default_rng(seed),
+                          workers=mc_workers())
             rates[(d, p)] = est.per_cycle
     return rates
 

@@ -17,7 +17,7 @@ from repro.sim.detection import (
     run_detection_trials,
 )
 
-from _common import print_table, scale
+from _common import mc_workers, print_table, scale
 
 DISTANCE = 21
 P = 1e-3
@@ -37,7 +37,7 @@ def bench_fig7_detection_unit(benchmark):
             p_ano = P * ratio
             c_win, perf = empirical_required_window(
                 DISTANCE, P, p_ano, ANOMALY_SIZE, n_th=N_TH,
-                trials=trials, seed=ratio)
+                trials=trials, seed=ratio, workers=mc_workers())
             rows.append((ratio, c_win, perf.mean_latency,
                          perf.mean_position_error))
         return rows
@@ -66,5 +66,6 @@ def bench_fig7_single_operating_point(benchmark):
     """Time one full detection campaign at the paper's operating point."""
     result = benchmark(
         run_detection_trials,
-        DISTANCE, P, 0.05, ANOMALY_SIZE, 300, N_TH, 0.01, 3, seed=1)
+        DISTANCE, P, 0.05, ANOMALY_SIZE, 300, N_TH, 0.01, 3, seed=1,
+        workers=mc_workers())
     assert result.miss_rate == 0.0

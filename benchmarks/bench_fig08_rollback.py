@@ -18,7 +18,7 @@ from repro.analysis.firstorder import effective_distance_reduction
 from repro.noise import AnomalousRegion
 from repro.sim.memory import MemoryExperiment
 
-from _common import mc_samples, print_table
+from _common import mc_samples, mc_workers, print_table
 
 DISTANCES = [9, 13]
 PHYSICAL_RATES = [8e-3, 1.5e-2, 2.5e-2]
@@ -27,7 +27,8 @@ ANOMALY_SIZES = [2, 4]
 
 def _rate(d, p, samples, region=None, informed=False, seed=0):
     exp = MemoryExperiment(d, p, region=region, informed=informed)
-    return exp.run(samples, np.random.default_rng(seed)).per_cycle
+    return exp.run(samples, np.random.default_rng(seed),
+                   workers=mc_workers()).per_cycle
 
 
 @pytest.mark.benchmark(group="fig8")

@@ -14,7 +14,7 @@ import pytest
 
 from repro.arch.throughput import simulate_throughput, throughput_sweep
 
-from _common import print_table, scale
+from _common import mc_workers, print_table, scale
 
 FREQUENCIES = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2]
 
@@ -23,12 +23,15 @@ FREQUENCIES = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2]
 def bench_fig10_throughput_sweep(benchmark):
     """Regenerate all four Fig. 10 series."""
     n_inst = max(200, int(1000 * scale()))
+    workers = mc_workers()
 
     def run():
         short = throughput_sweep(FREQUENCIES, duration_slots=100,
-                                 num_instructions=n_inst, seed=7)
+                                 num_instructions=n_inst, seed=7,
+                                 workers=workers)
         long = throughput_sweep(FREQUENCIES, duration_slots=1000,
-                                num_instructions=n_inst, seed=7)
+                                num_instructions=n_inst, seed=7,
+                                workers=workers)
         return short, long
 
     short, long = benchmark.pedantic(run, rounds=1, iterations=1)

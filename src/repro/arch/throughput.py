@@ -132,19 +132,35 @@ def _expire_expansions(plane: QubitPlane, expansion_deadline: dict[int, int],
         del expansion_deadline[qubit]
 
 
+def _q3de_sweep_point(freq: float, num_instructions: int,
+                      duration_slots: int, seed: int) -> float:
+    return simulate_throughput(
+        "q3de", num_instructions, freq, duration_slots,
+        rng=np.random.default_rng(seed)).throughput
+
+
 def throughput_sweep(
     frequencies: list[float],
     duration_slots: int,
     num_instructions: int = 1000,
     seed: int = 7,
+    workers: int = 0,
 ) -> dict[str, list[float]]:
-    """Fig. 10's series: throughput vs strike frequency per architecture."""
+    """Fig. 10's series: throughput vs strike frequency per architecture.
+
+    Every sweep point carries its own derived seed, so results are
+    identical whether the points run inline or (``workers > 1``) fan out
+    over a process pool.
+    """
     out: dict[str, list[float]] = {"mbbe_free": [], "baseline": [], "q3de": []}
-    for idx, freq in enumerate(frequencies):
-        rng = np.random.default_rng(seed + idx)
-        out["q3de"].append(simulate_throughput(
-            "q3de", num_instructions, freq, duration_slots,
-            rng=rng).throughput)
+    tasks = [(freq, num_instructions, duration_slots, seed + idx)
+             for idx, freq in enumerate(frequencies)]
+    if workers > 1:
+        import multiprocessing
+        with multiprocessing.Pool(workers) as pool:
+            out["q3de"] = pool.starmap(_q3de_sweep_point, tasks)
+    else:
+        out["q3de"] = [_q3de_sweep_point(*task) for task in tasks]
     rng = np.random.default_rng(seed)
     free = simulate_throughput(
         "mbbe_free", num_instructions, rng=rng).throughput

@@ -136,6 +136,15 @@ class AnomalyDetectionUnit:
         self._mask_until[:] = -1
         self.cycle = -1
 
+    def clear_masks(self) -> None:
+        """Drop all detection masks, keeping window and counters.
+
+        Used when the consumer rejects a detection as spurious: the mask
+        laid down by :meth:`observe` would otherwise blind the unit to a
+        real MBBE at the same position for ``mask_cycles``.
+        """
+        self._mask_until[:] = -1
+
     def memory_bits(self) -> int:
         """Storage footprint of the active node counter (Table III row 2).
 

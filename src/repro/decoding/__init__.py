@@ -18,7 +18,8 @@ provides:
 from repro.decoding.graph import SyndromeLattice
 from repro.decoding.weights import DistanceModel, NORTH, SOUTH
 from repro.decoding.mwpm import MWPMDecoder
-from repro.decoding.greedy import GreedyDecoder
+from repro.decoding.greedy import (FastGreedyDecoder, GreedyDecoder,
+                                   greedy_cut_parity, greedy_decode_fast)
 from repro.decoding.decoder_base import DecodeResult, Match
 from repro.decoding.dijkstra import GridDijkstra
 
@@ -27,6 +28,9 @@ __all__ = [
     "DistanceModel",
     "MWPMDecoder",
     "GreedyDecoder",
+    "FastGreedyDecoder",
+    "greedy_decode_fast",
+    "greedy_cut_parity",
     "DecodeResult",
     "Match",
     "NORTH",

@@ -4,6 +4,11 @@ For a distance-``d`` planar code's Z-lattice, syndrome nodes live on a
 ``(d-1) x d`` grid.  ``T`` noisy measurement rounds plus one final perfect
 round give ``T + 1`` difference layers; a node ``(t, i, j)`` is *active*
 when consecutive syndrome values differ (paper Fig. 2).
+
+All extraction methods operate on the trailing ``(T, rows, cols)`` axes,
+so a whole batch of shots can be processed in one call by passing
+``(shots, T, rows, cols)`` arrays (the batched shot engine's layout);
+time is always axis ``-3``.
 """
 
 from __future__ import annotations
@@ -27,37 +32,38 @@ class SyndromeLattice:
 
     # ------------------------------------------------------------------
     def true_syndromes(self, v: np.ndarray, h: np.ndarray) -> np.ndarray:
-        """Noiseless cumulative syndromes, shape ``(T, d-1, d)``.
+        """Noiseless cumulative syndromes, shape ``(..., T, d-1, d)``.
 
         ``v``/``h`` are per-cycle data-edge flip arrays as produced by
-        :class:`repro.noise.PhenomenologicalNoise.sample`.  Entry ``t``
-        is the syndrome after the errors of cycles ``0..t``.
+        :class:`repro.noise.PhenomenologicalNoise.sample` (optionally with
+        leading batch axes).  Entry ``t`` is the syndrome after the errors
+        of cycles ``0..t``.
         """
-        cum_v = np.cumsum(v, axis=0) & 1
-        cum_h = np.cumsum(h, axis=0) & 1
-        synd = (cum_v[:, :-1, :] ^ cum_v[:, 1:, :]).astype(np.uint8)
-        synd[:, :, :-1] ^= cum_h.astype(np.uint8)
-        synd[:, :, 1:] ^= cum_h.astype(np.uint8)
+        cum_v = np.cumsum(v, axis=-3) & 1
+        cum_h = np.cumsum(h, axis=-3) & 1
+        synd = (cum_v[..., :-1, :] ^ cum_v[..., 1:, :]).astype(np.uint8)
+        synd[..., :-1] ^= cum_h.astype(np.uint8)
+        synd[..., 1:] ^= cum_h.astype(np.uint8)
         return synd
 
     def measured_layers(self, v: np.ndarray, h: np.ndarray,
                         m: np.ndarray) -> np.ndarray:
         """Measured syndrome layers: T noisy rounds + 1 final perfect round.
 
-        Shape ``(T + 1, d-1, d)``.
+        Shape ``(..., T + 1, d-1, d)``.
         """
         true = self.true_syndromes(v, h)
-        cycles = v.shape[0]
-        layers = np.empty((cycles + 1, self.node_rows, self.node_cols),
-                          dtype=np.uint8)
-        layers[:cycles] = true ^ m.astype(np.uint8)
-        layers[cycles] = true[cycles - 1]
+        cycles = v.shape[-3]
+        shape = v.shape[:-3] + (cycles + 1, self.node_rows, self.node_cols)
+        layers = np.empty(shape, dtype=np.uint8)
+        layers[..., :cycles, :, :] = true ^ m.astype(np.uint8)
+        layers[..., cycles, :, :] = true[..., cycles - 1, :, :]
         return layers
 
     def difference_lattice(self, layers: np.ndarray) -> np.ndarray:
         """Element-wise XOR of consecutive layers (first layer vs zero)."""
         diff = layers.copy()
-        diff[1:] ^= layers[:-1]
+        diff[..., 1:, :, :] ^= layers[..., :-1, :, :]
         return diff
 
     def active_nodes(self, diff: np.ndarray) -> np.ndarray:
@@ -70,29 +76,49 @@ class SyndromeLattice:
         layers = self.measured_layers(v, h, m)
         return self.active_nodes(self.difference_lattice(layers))
 
+    def detection_events_batch(self, v: np.ndarray, h: np.ndarray,
+                               m: np.ndarray) -> list[np.ndarray]:
+        """Per-shot active-node arrays for a ``(shots, T, ...)`` batch.
+
+        Returns a list of ``(n_s, 3)`` coordinate arrays, one per shot,
+        extracted with a single pass over the whole batch.
+        """
+        layers = self.measured_layers(v, h, m)
+        coords = np.argwhere(self.difference_lattice(layers).astype(bool))
+        shots = v.shape[0]
+        # ``argwhere`` output is sorted by the leading (shot) axis, so one
+        # searchsorted recovers the per-shot slices without a Python scan.
+        bounds = np.searchsorted(coords[:, 0], np.arange(shots + 1))
+        return [coords[bounds[s]:bounds[s + 1], 1:] for s in range(shots)]
+
     # ------------------------------------------------------------------
     @staticmethod
-    def error_cut_parity(v: np.ndarray) -> int:
+    def error_cut_parity(v: np.ndarray):
         """Parity of error flips crossing the north-boundary cut.
 
         The residual operator is a logical X iff error XOR correction
         crosses the north cut an odd number of times; the error part of
         that parity is the total number of flips of the ``k = 0`` vertical
-        edges over all cycles, mod 2.
+        edges over all cycles, mod 2.  For a single shot (3D input)
+        returns an ``int``; for batched input returns an integer array
+        over the leading axes.
         """
-        return int(v[:, 0, :].sum()) & 1
+        parity = v[..., 0, :].sum(axis=(-2, -1)).astype(np.int64) & 1
+        if v.ndim == 3:
+            return int(parity)
+        return parity
 
     def per_cycle_activity(self, v: np.ndarray, h: np.ndarray,
                            m: np.ndarray) -> np.ndarray:
         """Per-cycle node activity stream for the anomaly detection unit.
 
         Returns the difference lattice restricted to the noisy rounds
-        (shape ``(T, d-1, d)``): what the `anomaly detection unit` sees as
-        cycles stream in (the final perfect round is an analysis artifact,
-        not part of the live stream).
+        (shape ``(..., T, d-1, d)``): what the `anomaly detection unit`
+        sees as cycles stream in (the final perfect round is an analysis
+        artifact, not part of the live stream).
         """
         true = self.true_syndromes(v, h)
         noisy = true ^ m.astype(np.uint8)
         diff = noisy.copy()
-        diff[1:] ^= noisy[:-1]
+        diff[..., 1:, :, :] ^= noisy[..., :-1, :, :]
         return diff

@@ -49,12 +49,16 @@ class MWPMDecoder:
         for i in range(n):
             graph.add_edge(i, n + i, weight=scale - bdist[i])
             for j in range(i + 1, n):
+                # Twin-twin edges are unconditional: they are what lets a
+                # pruned pair retire to the boundary instead, so skipping
+                # them alongside a pruned (i, j) edge can leave the only
+                # perfect matchings going through worse-than-minimum pairs.
+                graph.add_edge(n + i, n + j, weight=scale)
                 if (self.prune_factor is not None
                         and dist[i, j] > self.prune_factor
                         * (bdist[i] + bdist[j])):
                     continue
                 graph.add_edge(i, j, weight=scale - dist[i, j])
-                graph.add_edge(n + i, n + j, weight=scale)
         matching = nx.max_weight_matching(graph, maxcardinality=True)
 
         matches: list[Match] = []

@@ -87,6 +87,61 @@ class DistanceModel:
         via = to_box[:, None] + to_box[None, :] + self.w_ano * inside
         return np.minimum(direct, via)
 
+    def pairwise_int(self, nodes: np.ndarray) -> Optional[np.ndarray]:
+        """All-pairs distances as an ``int16`` matrix, when exact.
+
+        Matching distances are integer-valued whenever the nodes have
+        integer coordinates and the model is uniform or has a zero-weight
+        region (``p_ano = 0.5``, the paper's MBBE model).  In that regime
+        this returns the same values as :meth:`pairwise` using ``int16``
+        component outers — a fraction of the memory traffic of the float
+        broadcast, which is what the batched shot engine's decode loop
+        lives on.  Returns ``None`` when the integer path would not be
+        exact (non-integer nodes, or a region with ``w_ano != 0``).
+        """
+        nodes = np.asarray(nodes)
+        if not np.issubdtype(nodes.dtype, np.integer):
+            return None
+        if self.region is not None and self.w_ano != 0.0:
+            return None
+        # Worst-case int16 magnitude is 12x the largest coordinate (a
+        # via distance sums two 3-component box approaches), so cap all
+        # participating values — node coordinates AND box bounds, which
+        # can be huge for an explicit far-future t_hi — at 2000.
+        limit = 2000
+        if nodes.size and int(np.abs(nodes).max()) > limit:
+            return None
+        if self.region is not None:
+            lo, hi = self._box_bounds(int(nodes[:, 0].max(initial=0)))
+            if max(float(np.abs(lo).max()), float(np.abs(hi).max())) > limit:
+                return None
+        pts = nodes.astype(np.int16)
+        t, i, j = pts[:, 0], pts[:, 1], pts[:, 2]
+        direct = (np.abs(t[:, None] - t[None, :])
+                  + np.abs(i[:, None] - i[None, :])
+                  + np.abs(j[:, None] - j[None, :]))
+        if self.region is None:
+            return direct
+        clamped = np.clip(pts, lo.astype(np.int16), hi.astype(np.int16))
+        to_box = np.abs(pts - clamped).sum(axis=1, dtype=np.int16)
+        # Crossing a w_ano = 0 box is free: the via path is just the two
+        # box approaches.
+        via = to_box[:, None] + to_box[None, :]
+        return np.minimum(direct, via)
+
+    def pairwise_fast(self, nodes: np.ndarray) -> np.ndarray:
+        """Float-exact fast path for :meth:`pairwise`.
+
+        Uses :meth:`pairwise_int` when the integer path is exact (the
+        distances are identical small integers, so converting back to
+        float64 preserves every distance-ordered tie-break), otherwise
+        falls back to the float broadcast of :meth:`pairwise`.
+        """
+        dist = self.pairwise_int(nodes)
+        if dist is None:
+            return self.pairwise(nodes)
+        return dist.astype(np.float64)
+
     def boundary(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Distance to the nearest boundary and which one.
 

@@ -73,6 +73,20 @@ class AnomalousRegion:
         col_lo = max(0, (cols - size) // 2)
         return cls(row_lo, col_lo, size, t_lo, t_hi)
 
+    @classmethod
+    def random(cls, distance: int, size: int, rng,
+               t_lo: int = 0, t_hi: Optional[int] = None) -> "AnomalousRegion":
+        """A size x size region at a uniform position on the lattice.
+
+        The single place strike positions are drawn (sequential and
+        batched experiment paths must sample identically): row origin
+        first, then column origin.
+        """
+        rows, cols = distance - 1, distance
+        row_lo = int(rng.integers(0, max(1, rows - size)))
+        col_lo = int(rng.integers(0, max(1, cols - size)))
+        return cls(row_lo, col_lo, size, t_lo, t_hi)
+
 
 class PhenomenologicalNoise:
     """Samples per-cycle error arrays for the Z-decoding lattice.
@@ -139,10 +153,25 @@ class PhenomenologicalNoise:
         Returns ``(v, h, m)`` boolean arrays of shapes
         ``(T, d, d)``, ``(T, d-1, d-1)``, ``(T, d-1, d)``.
         """
+        v, h, m = self.sample_batch(1, cycles, rng)
+        return v[0], h[0], m[0]
+
+    def sample_batch(self, shots: int, cycles: int,
+                     rng: np.random.Generator):
+        """Sample error arrays for a whole batch of shots at once.
+
+        Returns ``(v, h, m)`` boolean arrays of shapes
+        ``(shots, T, d, d)``, ``(shots, T, d-1, d-1)``,
+        ``(shots, T, d-1, d)``.  One generator call per array keeps the
+        per-shot Python overhead of a Monte-Carlo campaign out of the
+        sampling path entirely.
+        """
+        if shots < 1:
+            raise ValueError("need at least one shot")
         d = self.distance
-        v = rng.random((cycles, d, d)) < self.p
-        h = rng.random((cycles, d - 1, d - 1)) < self.p
-        m = rng.random((cycles, d - 1, d)) < self.p
+        v = rng.random((shots, cycles, d, d)) < self.p
+        h = rng.random((shots, cycles, d - 1, d - 1)) < self.p
+        m = rng.random((shots, cycles, d - 1, d)) < self.p
         if self.region is not None and self.p_ano != self.p:
             v_mask, h_mask, m_mask = self._masks
             t_lo = self.region.t_lo
@@ -150,10 +179,10 @@ class PhenomenologicalNoise:
             t_lo, t_hi = max(0, t_lo), min(cycles, t_hi)
             if t_hi > t_lo:
                 span = t_hi - t_lo
-                v[t_lo:t_hi][:, v_mask] = (
-                    rng.random((span, int(v_mask.sum()))) < self.p_ano)
-                h[t_lo:t_hi][:, h_mask] = (
-                    rng.random((span, int(h_mask.sum()))) < self.p_ano)
-                m[t_lo:t_hi][:, m_mask] = (
-                    rng.random((span, int(m_mask.sum()))) < self.p_ano)
+                v[:, t_lo:t_hi][:, :, v_mask] = (
+                    rng.random((shots, span, int(v_mask.sum()))) < self.p_ano)
+                h[:, t_lo:t_hi][:, :, h_mask] = (
+                    rng.random((shots, span, int(h_mask.sum()))) < self.p_ano)
+                m[:, t_lo:t_hi][:, :, m_mask] = (
+                    rng.random((shots, span, int(m_mask.sum()))) < self.p_ano)
         return v, h, m

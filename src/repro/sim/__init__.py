@@ -9,8 +9,20 @@ from repro.sim.detection import (
     analytic_required_window,
 )
 from repro.sim.endtoend import EndToEndExperiment, EndToEndResult
+from repro.sim.batch import (
+    BatchRunResult,
+    BatchShotRunner,
+    DetectionTrialKernel,
+    EndToEndShotKernel,
+    MemoryShotKernel,
+)
 
 __all__ = [
+    "BatchRunResult",
+    "BatchShotRunner",
+    "DetectionTrialKernel",
+    "EndToEndShotKernel",
+    "MemoryShotKernel",
     "BinomialEstimate",
     "wilson_interval",
     "MemoryExperiment",

@@ -1,0 +1,472 @@
+"""Batched shot engine for Monte-Carlo campaigns.
+
+The paper's headline results are >= 1e5-sample campaigns; running each
+shot through per-cycle Python loops caps benches at a few hundred.  This
+module is the production hot path:
+
+* **Vectorized shot kernels** — noise sampling, syndrome extraction and
+  cut parities are computed for a whole batch of shots in a handful of
+  NumPy calls (:meth:`PhenomenologicalNoise.sample_batch`,
+  :meth:`SyndromeLattice.detection_events_batch`); only the matching
+  itself runs per shot, through the pruned fast-greedy core that is
+  certified exactly equal to the sequential decoder.
+
+* **Process fan-out** — ``workers > 1`` decodes batches on a
+  ``multiprocessing`` pool.  Each worker builds its kernel (and decoder)
+  once and reuses it for every batch it is handed.
+
+* **Reproducibility** — one :class:`numpy.random.SeedSequence` spawns a
+  child seed per batch, so a campaign's outcomes depend only on
+  ``(seed, batch_size)`` — never on the worker count or on scheduling.
+
+* **Streaming estimates** — per-shot outcomes stream into a
+  :class:`BinomialEstimate`; a campaign can stop early once the Wilson
+  interval is tight enough instead of burning a fixed shot budget.
+
+``workers = 0`` everywhere falls back to the original sequential path.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.statistics import (SyndromeStatistics, detection_threshold,
+                                   expected_activity_rate)
+from repro.decoding.graph import SyndromeLattice
+from repro.decoding.greedy import greedy_cut_parity
+from repro.decoding.mwpm import MWPMDecoder
+from repro.decoding.weights import DistanceModel, relative_anomalous_weight
+from repro.noise.models import AnomalousRegion, PhenomenologicalNoise
+from repro.sim.endtoend import estimate_strike_region
+from repro.sim.montecarlo import BinomialEstimate, wilson_interval
+
+
+# ----------------------------------------------------------------------
+# Shared kernel pieces
+# ----------------------------------------------------------------------
+def _overwrite_anomalous(v: np.ndarray, h: np.ndarray, m: np.ndarray,
+                         shot: int, region: AnomalousRegion,
+                         distance: int, p: float, p_ano: float,
+                         rng: np.random.Generator) -> None:
+    """Resample one shot's error arrays at ``p_ano`` inside ``region``.
+
+    The batched kernels draw the whole batch at the base rate first;
+    per-shot regions then only touch their own cells, mirroring
+    ``PhenomenologicalNoise.sample`` with that region.
+    """
+    masks = PhenomenologicalNoise(distance, p, p_ano,
+                                  region).anomalous_masks
+    cycles = v.shape[1]
+    t_hi = region.t_hi if region.t_hi is not None else cycles
+    t_lo, t_hi = max(0, region.t_lo), min(cycles, t_hi)
+    if t_hi <= t_lo:
+        return
+    span = t_hi - t_lo
+    for arr, mask in zip((v, h, m), masks):
+        arr[shot, t_lo:t_hi][:, mask] = (
+            rng.random((span, int(mask.sum()))) < p_ano)
+
+
+def _windowed_over(activity: np.ndarray, c_win: int,
+                   v_th: float) -> tuple[np.ndarray, np.ndarray]:
+    """Sliding-window counter state for one shot's activity stream.
+
+    Returns ``(over, n_over)`` where index ``k`` corresponds to cycle
+    ``t = k + c_win - 1`` (the unit stays silent until its window
+    fills): ``over[k]`` is the above-threshold node map, ``n_over[k]``
+    its count.  Exactly the counter update of
+    :meth:`AnomalyDetectionUnit.observe` under the fixed discard
+    semantics, where masks never touch a scored detection (pre-onset
+    flags clear their masks; the first accepted flag ends the shot).
+    """
+    cum = np.cumsum(activity, axis=0, dtype=np.int32)
+    if len(cum) < c_win:
+        empty = np.zeros((0,) + activity.shape[1:], dtype=bool)
+        return empty, np.zeros(0, dtype=np.int64)
+    windowed = cum[c_win - 1:].copy()
+    windowed[1:] -= cum[:-c_win]
+    over = windowed > v_th
+    return over, over.sum(axis=(1, 2))
+
+
+# ----------------------------------------------------------------------
+# Shot kernels
+# ----------------------------------------------------------------------
+class MemoryShotKernel:
+    """Batched version of :meth:`MemoryExperiment.run_once`.
+
+    ``run_batch(shots, rng)`` returns an ``(shots,)`` int8 array of
+    logical-failure indicators, distributionally identical to ``shots``
+    sequential ``run_once`` calls (the same error model and the exact
+    same matching; only the order in which the uniforms are drawn
+    differs).
+    """
+
+    #: column of ``run_batch`` output that feeds the streamed estimate
+    success_column = 0
+    default_batch_size = 512
+
+    def __init__(self, distance: int, p: float,
+                 region: Optional[AnomalousRegion] = None,
+                 p_ano: float = 0.5, decoder: str = "greedy",
+                 informed: bool = False, cycles: Optional[int] = None):
+        self.distance = distance
+        self.p = p
+        self.region = region
+        self.p_ano = p_ano
+        self.decoder = decoder
+        self.informed = informed
+        self.cycles = cycles if cycles is not None else distance
+        self._state = None
+
+    def prepare(self) -> None:
+        """Build noise/lattice/decoder once (per process, per worker)."""
+        if self._state is not None:
+            return
+        noise = PhenomenologicalNoise(self.distance, self.p, self.p_ano,
+                                      self.region)
+        lattice = SyndromeLattice(self.distance)
+        if self.informed and self.region is not None:
+            w_ano = relative_anomalous_weight(self.p, self.p_ano)
+            model = DistanceModel(self.distance, self.region, w_ano)
+        else:
+            model = DistanceModel(self.distance)
+        mwpm = MWPMDecoder(model) if self.decoder == "mwpm" else None
+        self._state = (noise, lattice, model, mwpm)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_state"] = None  # rebuilt lazily inside each worker
+        return state
+
+    def run_batch(self, shots: int, rng: np.random.Generator) -> np.ndarray:
+        self.prepare()
+        noise, lattice, model, mwpm = self._state
+        v, h, m = noise.sample_batch(shots, self.cycles, rng)
+        nodes_per_shot = lattice.detection_events_batch(v, h, m)
+        error_parity = lattice.error_cut_parity(v)
+        out = np.empty(shots, dtype=np.int8)
+        for s, nodes in enumerate(nodes_per_shot):
+            if len(nodes) == 0:
+                correction = 0
+            elif mwpm is not None:
+                correction = mwpm.decode(nodes).correction_cut_parity
+            else:
+                correction = greedy_cut_parity(model, nodes)
+            out[s] = error_parity[s] ^ correction
+        return out
+
+
+class EndToEndShotKernel:
+    """Batched version of :meth:`EndToEndExperiment.run_shot`.
+
+    Output rows are ``(naive, detected, oracle, latency)`` with
+    ``latency = -1`` on a missed detection.  The per-cycle detection
+    scan is replaced by a windowed-count computation over the whole
+    activity stream (exact under the discard-pre-onset semantics: masks
+    from discarded events are cleared, and the first accepted event ends
+    the shot, so no mask can ever touch a scored detection).
+    """
+
+    success_column = 1  # detected-strategy failures drive early stopping
+    default_batch_size = 64
+
+    def __init__(self, distance: int, p: float, p_ano: float,
+                 anomaly_size: int, onset: int, cycles: int,
+                 c_win: int, n_th: int, alpha: float):
+        self.distance = distance
+        self.p = p
+        self.p_ano = p_ano
+        self.anomaly_size = anomaly_size
+        self.onset = onset
+        self.cycles = cycles
+        self.c_win = c_win
+        self.n_th = n_th
+        self.alpha = alpha
+        self._state = None
+
+    def prepare(self) -> None:
+        if self._state is not None:
+            return
+        lattice = SyndromeLattice(self.distance)
+        stats = SyndromeStatistics.from_activity_rate(
+            expected_activity_rate(self.p))
+        v_th = detection_threshold(stats, self.c_win, self.alpha)
+        base_noise = PhenomenologicalNoise(self.distance, self.p, self.p_ano)
+        naive_model = DistanceModel(self.distance)
+        w_ano = relative_anomalous_weight(self.p, self.p_ano)
+        self._state = (lattice, v_th, base_noise, naive_model, w_ano)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_state"] = None
+        return state
+
+    def _failure(self, model, lattice, nodes, v) -> int:
+        return lattice.error_cut_parity(v) ^ greedy_cut_parity(model, nodes)
+
+    def run_batch(self, shots: int, rng: np.random.Generator) -> np.ndarray:
+        self.prepare()
+        lattice, v_th, base_noise, naive_model, w_ano = self._state
+        d, cycles, c_win = self.distance, self.cycles, self.c_win
+
+        regions = [AnomalousRegion.random(d, self.anomaly_size, rng,
+                                          t_lo=self.onset)
+                   for _ in range(shots)]
+        v, h, m = base_noise.sample_batch(shots, cycles, rng)
+        # Regions differ per shot, so the anomalous overwrite is the one
+        # per-shot sampling step (touching only the region's cells).
+        for s, region in enumerate(regions):
+            _overwrite_anomalous(v, h, m, s, region, d, self.p,
+                                 self.p_ano, rng)
+        activity = lattice.per_cycle_activity(v, h, m)
+
+        out = np.empty((shots, 4), dtype=np.int64)
+        for s in range(shots):
+            over, n_over = _windowed_over(activity[s], c_win, v_th)
+            start = max(self.onset - (c_win - 1), 0)
+            fired = np.flatnonzero(n_over[start:] > self.n_th)
+
+            event_cycle = None
+            stop = cycles
+            estimated = None
+            latency = -1
+            if len(fired):
+                event_cycle = int(fired[0]) + start + c_win - 1
+                stop = min(cycles, event_cycle + d)
+                flag_rows, flag_cols = np.nonzero(
+                    over[event_cycle - (c_win - 1)])
+                estimated = estimate_strike_region(
+                    d, self.anomaly_size, int(np.median(flag_rows)),
+                    int(np.median(flag_cols)),
+                    max(0, event_cycle - c_win))
+                latency = event_cycle - self.onset
+
+            vs, hs, ms = v[s, :stop], h[s, :stop], m[s, :stop]
+            nodes = lattice.detection_events(vs, hs, ms)
+            naive = self._failure(naive_model, lattice, nodes, vs)
+            oracle_model = DistanceModel(d, regions[s], w_ano)
+            oracle = self._failure(oracle_model, lattice, nodes, vs)
+            if estimated is not None:
+                detected = self._failure(
+                    DistanceModel(d, estimated, w_ano), lattice, nodes, vs)
+            else:
+                detected = naive
+            out[s] = (naive, detected, oracle, latency)
+        return out
+
+
+class DetectionTrialKernel:
+    """Batched detection trials (Fig. 7) for the shot engine.
+
+    Output rows are ``(false_positive, detected, latency, position_error)``
+    with ``latency = -1`` and ``position_error = nan`` on a miss.  Uses
+    the same windowed-count scan as :class:`EndToEndShotKernel`: exact
+    under the discard semantics, where pre-onset flags clear their masks
+    and the first post-onset flag ends the trial.
+    """
+
+    success_column = 1
+    default_batch_size = 16
+
+    def __init__(self, distance: int, p: float, p_ano: float,
+                 anomaly_size: int, c_win: int, n_th: int, alpha: float,
+                 normal_cycles: int, post_cycles: int):
+        self.distance = distance
+        self.p = p
+        self.p_ano = p_ano
+        self.anomaly_size = anomaly_size
+        self.c_win = c_win
+        self.n_th = n_th
+        self.alpha = alpha
+        self.normal_cycles = normal_cycles
+        self.post_cycles = post_cycles
+        self._state = None
+
+    def prepare(self) -> None:
+        if self._state is not None:
+            return
+        stats = SyndromeStatistics.from_activity_rate(
+            expected_activity_rate(self.p))
+        v_th = detection_threshold(stats, self.c_win, self.alpha)
+        base_noise = PhenomenologicalNoise(self.distance, self.p, self.p_ano)
+        self._state = (v_th, base_noise, SyndromeLattice(self.distance))
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_state"] = None
+        return state
+
+    def run_batch(self, shots: int, rng: np.random.Generator) -> np.ndarray:
+        self.prepare()
+        v_th, base_noise, lattice = self._state
+        c_win, onset = self.c_win, self.normal_cycles
+        total = self.normal_cycles + self.post_cycles
+
+        regions = [AnomalousRegion.random(self.distance, self.anomaly_size,
+                                          rng, t_lo=onset)
+                   for _ in range(shots)]
+        v, h, m = base_noise.sample_batch(shots, total, rng)
+        for s, region in enumerate(regions):
+            _overwrite_anomalous(v, h, m, s, region, self.distance,
+                                 self.p, self.p_ano, rng)
+        activity = lattice.per_cycle_activity(v, h, m)
+
+        out = np.empty((shots, 4), dtype=np.float64)
+        for s in range(shots):
+            over, n_over = _windowed_over(activity[s], c_win, v_th)
+            if not len(n_over):
+                out[s] = (0.0, 0.0, -1.0, np.nan)
+                continue
+            # Windowed index k corresponds to cycle t = k + c_win - 1.
+            pre = max(0, onset - (c_win - 1))
+            false_positive = bool(np.any(n_over[:pre] > self.n_th))
+            fired = np.flatnonzero(n_over[pre:] > self.n_th)
+            if len(fired):
+                cycle = int(fired[0]) + pre + c_win - 1
+                flag_r, flag_c = np.nonzero(over[cycle - (c_win - 1)])
+                region = regions[s]
+                centre_r = region.row_lo + (self.anomaly_size - 1) / 2.0
+                centre_c = region.col_lo + (self.anomaly_size - 1) / 2.0
+                err = math.hypot(int(np.median(flag_r)) - centre_r,
+                                 int(np.median(flag_c)) - centre_c)
+                out[s] = (false_positive, 1.0, cycle - onset, err)
+            else:
+                out[s] = (false_positive, 0.0, -1.0, np.nan)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Worker-pool plumbing
+# ----------------------------------------------------------------------
+_WORKER_KERNEL = None
+
+
+def _pool_init(kernel) -> None:
+    global _WORKER_KERNEL
+    _WORKER_KERNEL = kernel
+    _WORKER_KERNEL.prepare()  # decoder built once, reused per batch
+
+
+def _pool_run(task) -> np.ndarray:
+    shots, seed = task
+    return _WORKER_KERNEL.run_batch(shots, np.random.default_rng(seed))
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+@dataclass
+class BatchRunResult:
+    """Outcome of a batched campaign."""
+
+    outcomes: np.ndarray  # (shots,) or (shots, k) per-shot outcomes
+    estimate: Optional[BinomialEstimate]  # streamed success-column counts
+    requested: int
+
+    @property
+    def shots(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def stopped_early(self) -> bool:
+        return self.shots < self.requested
+
+
+class BatchShotRunner:
+    """Runs a shot kernel over batches, in process or on a worker pool.
+
+    Args:
+        kernel: object with ``run_batch(shots, rng) -> np.ndarray``,
+            ``prepare()``, ``success_column`` and ``default_batch_size``.
+        workers: 0 or 1 runs in-process; ``workers > 1`` fans batches out
+            over a ``multiprocessing`` pool of that size.
+        batch_size: shots per batch (``None`` = kernel default).  Part of
+            the reproducibility contract: outcomes depend on
+            ``(seed, batch_size)`` only.
+        seed: campaign seed for the shared ``SeedSequence``.
+    """
+
+    def __init__(self, kernel, workers: int = 0,
+                 batch_size: Optional[int] = None,
+                 seed: Optional[int] = None):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.kernel = kernel
+        self.workers = workers
+        self.batch_size = (batch_size if batch_size is not None
+                           else kernel.default_batch_size)
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.seed = seed
+        self.last_estimate: Optional[BinomialEstimate] = None
+
+    # ------------------------------------------------------------------
+    def _batches(self, shots: int) -> list[tuple[int, np.random.SeedSequence]]:
+        sizes = [self.batch_size] * (shots // self.batch_size)
+        if shots % self.batch_size:
+            sizes.append(shots % self.batch_size)
+        children = np.random.SeedSequence(self.seed).spawn(len(sizes))
+        return list(zip(sizes, children))
+
+    def run(self, shots: int,
+            target_rel_width: Optional[float] = None,
+            min_shots: int = 0) -> BatchRunResult:
+        """Run up to ``shots`` shots, streaming batch outcomes.
+
+        With ``target_rel_width`` the campaign stops as soon as the
+        Wilson interval of the success-column estimate is narrower than
+        ``target_rel_width *`` its mean (and at least ``min_shots`` and
+        one full batch have been run): the adaptive mode that replaces
+        fixed >= 1e5-shot budgets.
+        """
+        if shots < 1:
+            raise ValueError("need at least one shot")
+        tasks = self._batches(shots)
+        collected: list[np.ndarray] = []
+        successes = trials = 0
+
+        def tight_enough() -> bool:
+            if target_rel_width is None or trials < max(min_shots, 1):
+                return False
+            if successes == 0:
+                return False
+            lo, hi = wilson_interval(successes, trials)
+            mean = successes / trials
+            return (hi - lo) <= target_rel_width * mean
+
+        def ingest(batch: np.ndarray) -> bool:
+            nonlocal successes, trials
+            collected.append(batch)
+            column = batch if batch.ndim == 1 \
+                else batch[:, self.kernel.success_column]
+            successes += int(np.count_nonzero(column))
+            trials += len(batch)
+            return tight_enough()
+
+        if self.workers <= 1:
+            self.kernel.prepare()
+            for size, child in tasks:
+                batch = self.kernel.run_batch(
+                    size, np.random.default_rng(child))
+                if ingest(batch):
+                    break
+        else:
+            with multiprocessing.Pool(
+                    self.workers, initializer=_pool_init,
+                    initargs=(self.kernel,)) as pool:
+                for batch in pool.imap(_pool_run, tasks):
+                    if ingest(batch):
+                        break  # context manager terminates the pool
+
+        outcomes = np.concatenate(collected)
+        self.last_estimate = (BinomialEstimate(successes, trials)
+                              if trials else None)
+        return BatchRunResult(outcomes=outcomes,
+                              estimate=self.last_estimate,
+                              requested=shots)

@@ -90,13 +90,36 @@ def run_detection_trials(
     normal_cycles: Optional[int] = None,
     post_cycles: Optional[int] = None,
     seed: Optional[int] = None,
+    workers: int = 0,
 ) -> DetectionPerformance:
     """Stream trials through the detection unit and aggregate outcomes.
 
     Each trial: ``normal_cycles`` of anomaly-free operation (any flag here
     is a false positive), then an MBBE appears at a random position and
-    runs for ``post_cycles`` (no flag here is a miss).
+    runs for ``post_cycles`` (no flag here is a miss).  ``workers >= 1``
+    runs the batched kernel (``> 1`` on a process pool); ``0`` keeps the
+    sequential streaming path.
     """
+    if workers:
+        from repro.sim.batch import BatchShotRunner, DetectionTrialKernel
+        kernel = DetectionTrialKernel(
+            distance, p, p_ano, anomaly_size, c_win, n_th, alpha,
+            normal_cycles if normal_cycles is not None else 2 * c_win,
+            post_cycles if post_cycles is not None else 4 * c_win)
+        runner = BatchShotRunner(kernel, workers=workers, seed=seed)
+        out = runner.run(trials).outcomes
+        latencies_arr = out[out[:, 2] >= 0, 2]
+        errors_arr = out[np.isfinite(out[:, 3]), 3]
+        return DetectionPerformance(
+            trials=len(out),
+            false_positives=int(out[:, 0].sum()),
+            detections=int(out[:, 1].sum()),
+            mean_latency=(float(latencies_arr.mean()) if len(latencies_arr)
+                          else float("nan")),
+            mean_position_error=(float(errors_arr.mean()) if len(errors_arr)
+                                 else float("nan")),
+        )
+
     rng = np.random.default_rng(seed)
     stats = calibrated_statistics(p)
     normal_cycles = normal_cycles if normal_cycles is not None else 2 * c_win
@@ -108,10 +131,10 @@ def run_detection_trials(
     position_errors: list[float] = []
     rows, cols = distance - 1, distance
     for _ in range(trials):
-        row_lo = int(rng.integers(0, max(1, rows - anomaly_size)))
-        col_lo = int(rng.integers(0, max(1, cols - anomaly_size)))
         onset = normal_cycles
-        region = AnomalousRegion(row_lo, col_lo, anomaly_size, t_lo=onset)
+        region = AnomalousRegion.random(distance, anomaly_size, rng,
+                                        t_lo=onset)
+        row_lo, col_lo = region.row_lo, region.col_lo
         total = normal_cycles + post_cycles
         activity = _stream_activity(distance, p, p_ano, region, total, rng)
         unit = AnomalyDetectionUnit(
@@ -124,6 +147,9 @@ def run_detection_trials(
                 continue
             if t < onset:
                 tripped_early = True
+                # The false positive is not acted on, so its mask must not
+                # stand either -- it could blind the unit to the real MBBE.
+                unit.clear_masks()
                 continue  # keep streaming; a later flag still counts
             event = evt
             break
@@ -185,6 +211,7 @@ def empirical_required_window(
     seed: Optional[int] = None,
     growth: float = 1.5,
     max_window: int = 4096,
+    workers: int = 0,
 ) -> tuple[int, DetectionPerformance]:
     """Grow the window until both error rates fall below ``target_error``.
 
@@ -196,7 +223,7 @@ def empirical_required_window(
     while True:
         perf = run_detection_trials(
             distance, p, p_ano, anomaly_size, c_win, n_th, alpha,
-            trials=trials, seed=seed)
+            trials=trials, seed=seed, workers=workers)
         if (perf.false_positive_rate <= max(target_error, 1.0 / trials)
                 and perf.miss_rate <= max(target_error, 1.0 / trials)):
             return c_win, perf

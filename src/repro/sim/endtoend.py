@@ -33,6 +33,28 @@ from repro.decoding.weights import DistanceModel, relative_anomalous_weight
 from repro.noise.models import AnomalousRegion, PhenomenologicalNoise
 
 
+def estimate_strike_region(distance: int, anomaly_size: int,
+                           event_row: int, event_col: int,
+                           onset_estimate: int) -> AnomalousRegion:
+    """The control unit's region estimate from a detection event.
+
+    Shared by the sequential and batched experiment paths so the two
+    engines always score ``detected`` against the same box: the assumed
+    ``anomaly_size`` centred on the flagged position (clipped to the
+    lattice), starting at the estimated onset.
+    """
+    half = anomaly_size // 2
+    rows, cols = distance - 1, distance
+    return AnomalousRegion(
+        row_lo=int(np.clip(event_row - half, 0,
+                           max(0, rows - anomaly_size))),
+        col_lo=int(np.clip(event_col - half, 0,
+                           max(0, cols - anomaly_size))),
+        size=anomaly_size,
+        t_lo=max(0, onset_estimate),
+    )
+
+
 @dataclass(frozen=True)
 class EndToEndResult:
     """Failure counts over the campaign, per decoding strategy."""
@@ -99,11 +121,8 @@ class EndToEndExperiment:
 
     # ------------------------------------------------------------------
     def _random_region(self, rng: np.random.Generator) -> AnomalousRegion:
-        rows, cols = self.distance - 1, self.distance
-        row_lo = int(rng.integers(0, max(1, rows - self.anomaly_size)))
-        col_lo = int(rng.integers(0, max(1, cols - self.anomaly_size)))
-        return AnomalousRegion(row_lo, col_lo, self.anomaly_size,
-                               t_lo=self.onset)
+        return AnomalousRegion.random(self.distance, self.anomaly_size,
+                                      rng, t_lo=self.onset)
 
     def _decode_failure(self, nodes, v, region) -> int:
         if region is None:
@@ -135,24 +154,25 @@ class EndToEndExperiment:
         stop = self.cycles
         for t in range(self.cycles):
             evt = unit.observe(activity[t])
-            if evt is not None and evt.cycle >= self.onset:
-                event = evt
-                stop = min(self.cycles, evt.cycle + self.distance)
-                break
+            if evt is None:
+                continue
+            if evt.cycle < self.onset:
+                # A pre-onset false positive is discarded, so the mask it
+                # laid down must go with it: otherwise the unit is blind
+                # around the flagged position for mask_cycles and the real
+                # strike can go undetected.
+                unit.clear_masks()
+                continue
+            event = evt
+            stop = min(self.cycles, evt.cycle + self.distance)
+            break
 
         estimated: Optional[AnomalousRegion] = None
         latency = None
         if event is not None:
-            half = self.anomaly_size // 2
-            rows, cols = self.distance - 1, self.distance
-            estimated = AnomalousRegion(
-                row_lo=int(np.clip(event.row - half, 0,
-                                   max(0, rows - self.anomaly_size))),
-                col_lo=int(np.clip(event.col - half, 0,
-                                   max(0, cols - self.anomaly_size))),
-                size=self.anomaly_size,
-                t_lo=max(0, event.onset_estimate),
-            )
+            estimated = estimate_strike_region(
+                self.distance, self.anomaly_size, event.row, event.col,
+                event.onset_estimate)
             latency = event.cycle - self.onset
 
         v, h, m = v[:stop], h[:stop], m[:stop]
@@ -164,27 +184,58 @@ class EndToEndExperiment:
         return naive, detected, oracle, latency
 
     def run(self, shots: int,
-            rng: Optional[np.random.Generator] = None) -> EndToEndResult:
-        """Run the campaign and aggregate failure rates."""
+            rng: Optional[np.random.Generator] = None,
+            workers: int = 0,
+            batch_size: Optional[int] = None,
+            seed: Optional[int] = None) -> EndToEndResult:
+        """Run the campaign and aggregate failure rates.
+
+        ``workers = 0`` (default) keeps the sequential per-cycle path;
+        ``workers >= 1`` runs the batched shot engine with vectorized
+        sampling and detection scans (``workers > 1`` fans batches over
+        a process pool).  Batched campaigns are reproducible from
+        ``seed`` (drawn from ``rng`` when not given).
+        """
         if shots < 1:
             raise ValueError("need at least one shot")
         rng = rng if rng is not None else np.random.default_rng()
-        naive = detected = oracle = found = 0
-        latencies: list[int] = []
-        for _ in range(shots):
-            n, d, o, lat = self.run_shot(rng)
-            naive += n
-            detected += d
-            oracle += o
-            if lat is not None:
-                found += 1
-                latencies.append(lat)
+        if workers == 0:
+            naive = detected = oracle = found = 0
+            latencies: list[int] = []
+            for _ in range(shots):
+                n, d, o, lat = self.run_shot(rng)
+                naive += n
+                detected += d
+                oracle += o
+                if lat is not None:
+                    found += 1
+                    latencies.append(lat)
+            return EndToEndResult(
+                shots=shots,
+                naive_failures=naive,
+                detected_failures=detected,
+                oracle_failures=oracle,
+                detections=found,
+                mean_latency=(float(np.mean(latencies)) if latencies
+                              else float("nan")),
+            )
+
+        from repro.sim.batch import BatchShotRunner, EndToEndShotKernel
+        if seed is None:
+            seed = int(rng.integers(2 ** 63))
+        kernel = EndToEndShotKernel(
+            self.distance, self.p, self.p_ano, self.anomaly_size,
+            self.onset, self.cycles, self.c_win, self.n_th, self.alpha)
+        runner = BatchShotRunner(kernel, workers=workers,
+                                 batch_size=batch_size, seed=seed)
+        out = runner.run(shots).outcomes
+        latencies_arr = out[out[:, 3] >= 0, 3]
         return EndToEndResult(
-            shots=shots,
-            naive_failures=naive,
-            detected_failures=detected,
-            oracle_failures=oracle,
-            detections=found,
-            mean_latency=(float(np.mean(latencies)) if latencies
+            shots=len(out),
+            naive_failures=int(out[:, 0].sum()),
+            detected_failures=int(out[:, 1].sum()),
+            oracle_failures=int(out[:, 2].sum()),
+            detections=int(len(latencies_arr)),
+            mean_latency=(float(latencies_arr.mean()) if len(latencies_arr)
                           else float("nan")),
         )

@@ -49,7 +49,21 @@ class LogicalErrorEstimate:
 
     @property
     def per_cycle_std_error(self) -> float:
-        return self.estimate.std_error / self.cycles
+        """Delta-method standard error of :attr:`per_cycle`.
+
+        ``per_cycle = f(P) = 1 - (1 - P)^(1/T)`` with ``P`` the per-run
+        rate, so ``se(per_cycle) = se(P) * f'(P)`` with
+        ``f'(P) = (1 - P)^(1/T - 1) / T``.  (Dividing by ``T`` alone
+        understates the error once ``P`` is not small.)
+        """
+        p_run = self.per_run
+        if p_run >= 1.0:
+            # f'(P) diverges as P -> 1; the estimate saturates at 1.0 and
+            # the linearized error bar is meaningless, so fall back to the
+            # raw per-run uncertainty scaled by 1/T.
+            return self.estimate.std_error / self.cycles
+        derivative = (1.0 - p_run) ** (1.0 / self.cycles - 1.0) / self.cycles
+        return self.estimate.std_error * derivative
 
 
 class MemoryExperiment:
@@ -84,6 +98,7 @@ class MemoryExperiment:
         self.p = p
         self.region = region
         self.p_ano = p_ano
+        self.decoder = decoder
         self.informed = informed
         self.cycles = cycles if cycles is not None else distance
         self.noise = PhenomenologicalNoise(distance, p, p_ano, region)
@@ -110,13 +125,41 @@ class MemoryExperiment:
         return bool(error_parity ^ result.correction_cut_parity)
 
     def run(self, samples: int,
-            rng: Optional[np.random.Generator] = None) -> LogicalErrorEstimate:
-        """Estimate the logical failure rate over ``samples`` shots."""
+            rng: Optional[np.random.Generator] = None,
+            workers: int = 0,
+            batch_size: Optional[int] = None,
+            seed: Optional[int] = None,
+            target_rel_width: Optional[float] = None,
+            ) -> LogicalErrorEstimate:
+        """Estimate the logical failure rate over ``samples`` shots.
+
+        ``workers = 0`` (default) runs the original sequential per-shot
+        path.  ``workers >= 1`` runs the batched shot engine
+        (:mod:`repro.sim.batch`): vectorized sampling and extraction,
+        the certified-equal fast matching core, and — for
+        ``workers > 1`` — a process pool with per-worker decoder reuse.
+        Batched campaigns are reproducible from ``seed`` (drawn from
+        ``rng`` when not given) and can stop early once the Wilson
+        interval is narrower than ``target_rel_width`` times the mean.
+        """
         if samples < 1:
             raise ValueError("need at least one sample")
         rng = rng if rng is not None else np.random.default_rng()
-        failures = sum(self.run_once(rng) for _ in range(samples))
-        return LogicalErrorEstimate(failures, samples, self.cycles)
+        if workers == 0:
+            failures = sum(self.run_once(rng) for _ in range(samples))
+            return LogicalErrorEstimate(failures, samples, self.cycles)
+
+        from repro.sim.batch import BatchShotRunner, MemoryShotKernel
+        if seed is None:
+            seed = int(rng.integers(2 ** 63))
+        kernel = MemoryShotKernel(
+            self.distance, self.p, region=self.region, p_ano=self.p_ano,
+            decoder=self.decoder, informed=self.informed, cycles=self.cycles)
+        runner = BatchShotRunner(kernel, workers=workers,
+                                 batch_size=batch_size, seed=seed)
+        result = runner.run(samples, target_rel_width=target_rel_width)
+        return LogicalErrorEstimate(result.estimate.successes,
+                                    result.estimate.trials, self.cycles)
 
 
 def logical_error_rate(
@@ -128,12 +171,17 @@ def logical_error_rate(
     decoder: str = "greedy",
     p_ano: float = 0.5,
     seed: Optional[int] = None,
+    workers: int = 0,
+    batch_size: Optional[int] = None,
+    target_rel_width: Optional[float] = None,
 ) -> LogicalErrorEstimate:
     """Convenience one-call estimator (used by benches and examples)."""
     experiment = MemoryExperiment(
         distance, p, region=region, p_ano=p_ano,
         decoder=decoder, informed=informed)
-    return experiment.run(samples, np.random.default_rng(seed))
+    return experiment.run(samples, np.random.default_rng(seed),
+                          workers=workers, batch_size=batch_size,
+                          target_rel_width=target_rel_width)
 
 
 def fit_scaling_exponent(

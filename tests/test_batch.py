@@ -1,0 +1,301 @@
+"""Tests for the batched shot engine (repro.sim.batch)."""
+
+import numpy as np
+import pytest
+
+from repro.decoding import (
+    DistanceModel,
+    GreedyDecoder,
+    FastGreedyDecoder,
+    SyndromeLattice,
+    greedy_cut_parity,
+    greedy_decode_fast,
+)
+from repro.noise import AnomalousRegion, PhenomenologicalNoise
+from repro.sim.batch import (
+    BatchShotRunner,
+    EndToEndShotKernel,
+    MemoryShotKernel,
+)
+from repro.sim.detection import run_detection_trials
+from repro.sim.endtoend import EndToEndExperiment
+from repro.sim.memory import MemoryExperiment
+
+
+class TestBatchedPrimitives:
+    """sample_batch / batched lattice extraction agree with the
+    per-shot primitives they replace."""
+
+    def test_sample_batch_shapes(self, rng):
+        noise = PhenomenologicalNoise(5, 0.05)
+        v, h, m = noise.sample_batch(7, 3, rng)
+        assert v.shape == (7, 3, 5, 5)
+        assert h.shape == (7, 3, 4, 4)
+        assert m.shape == (7, 3, 4, 5)
+
+    def test_sample_batch_rejects_zero_shots(self, rng):
+        with pytest.raises(ValueError):
+            PhenomenologicalNoise(5, 0.05).sample_batch(0, 3, rng)
+
+    def test_single_shot_bitwise_matches_sample(self):
+        """sample() draws the same uniforms as a one-shot batch."""
+        region = AnomalousRegion(1, 1, 2, t_lo=1)
+        noise = PhenomenologicalNoise(5, 0.05, 0.5, region)
+        v1, h1, m1 = noise.sample(4, np.random.default_rng(3))
+        vb, hb, mb = noise.sample_batch(1, 4, np.random.default_rng(3))
+        assert np.array_equal(v1, vb[0])
+        assert np.array_equal(h1, hb[0])
+        assert np.array_equal(m1, mb[0])
+
+    def test_detection_events_batch_matches_per_shot(self, rng):
+        noise = PhenomenologicalNoise(7, 0.03, 0.5,
+                                      AnomalousRegion.centered(7, 2))
+        lattice = SyndromeLattice(7)
+        v, h, m = noise.sample_batch(9, 7, rng)
+        batched = lattice.detection_events_batch(v, h, m)
+        assert len(batched) == 9
+        for s in range(9):
+            single = lattice.detection_events(v[s], h[s], m[s])
+            assert np.array_equal(batched[s], single)
+
+    def test_error_cut_parity_batched(self, rng):
+        v = rng.random((6, 4, 5, 5)) < 0.2
+        batched = SyndromeLattice.error_cut_parity(v)
+        assert batched.shape == (6,)
+        for s in range(6):
+            single = SyndromeLattice.error_cut_parity(v[s])
+            assert isinstance(single, int)
+            assert batched[s] == single
+
+    def test_per_cycle_activity_batched(self, rng):
+        noise = PhenomenologicalNoise(5, 0.05)
+        lattice = SyndromeLattice(5)
+        v, h, m = noise.sample_batch(4, 6, rng)
+        batched = lattice.per_cycle_activity(v, h, m)
+        for s in range(4):
+            assert np.array_equal(
+                batched[s], lattice.per_cycle_activity(v[s], h[s], m[s]))
+
+
+class TestFastGreedyEquivalence:
+    """The batch engine's matching core is exactly the legacy decoder."""
+
+    @staticmethod
+    def _models(rng, d):
+        yield DistanceModel(d)
+        yield DistanceModel(
+            d, AnomalousRegion(int(rng.integers(0, 3)),
+                               int(rng.integers(0, 3)),
+                               int(rng.integers(1, 5)),
+                               t_lo=int(rng.integers(0, 3))), 0.0)
+        yield DistanceModel(d, AnomalousRegion(1, 1, 3),
+                            float(rng.random()))
+
+    def test_fast_matches_legacy_exactly(self, rng):
+        for _ in range(40):
+            d = int(rng.integers(5, 12))
+            n = int(rng.integers(0, 70))
+            nodes = np.column_stack([
+                rng.integers(0, d + 1, n), rng.integers(0, d - 1, n),
+                rng.integers(0, d, n)])
+            for model in self._models(rng, d):
+                legacy = GreedyDecoder(model).decode(nodes)
+                fast = greedy_decode_fast(model, nodes)
+                assert legacy.matches == fast.matches
+                assert legacy.weight == pytest.approx(fast.weight)
+                assert (greedy_cut_parity(model, nodes)
+                        == legacy.correction_cut_parity)
+
+    def test_fast_decoder_class_wraps_core(self, rng):
+        model = DistanceModel(9)
+        nodes = np.column_stack([
+            rng.integers(0, 9, 20), rng.integers(0, 8, 20),
+            rng.integers(0, 9, 20)])
+        assert (FastGreedyDecoder(model).decode(nodes).matches
+                == GreedyDecoder(model).decode(nodes).matches)
+
+    def test_pairwise_fast_is_float_exact(self, rng):
+        for _ in range(30):
+            d = int(rng.integers(5, 12))
+            n = int(rng.integers(1, 40))
+            nodes = np.column_stack([
+                rng.integers(0, d + 1, n), rng.integers(0, d - 1, n),
+                rng.integers(0, d, n)])
+            for model in self._models(rng, d):
+                assert np.array_equal(model.pairwise(nodes),
+                                      model.pairwise_fast(nodes))
+
+    def test_pairwise_int_declines_weighted_region(self):
+        model = DistanceModel(9, AnomalousRegion(1, 1, 3), 0.4)
+        assert model.pairwise_int(np.array([[0, 1, 2]])) is None
+
+    def test_huge_explicit_t_hi_stays_exact(self):
+        """Regression: an int16 cast of far-future box bounds used to
+        wrap and corrupt every fast-path distance."""
+        model = DistanceModel(9, AnomalousRegion(1, 1, 3, t_hi=100_000), 0.0)
+        nodes = np.array([[0, 0, 0], [0, 7, 8], [5, 3, 3], [5, 4, 3]])
+        assert np.array_equal(model.pairwise(nodes),
+                              model.pairwise_fast(nodes))
+        assert (GreedyDecoder(model).decode(nodes).matches
+                == greedy_decode_fast(model, nodes).matches)
+
+    def test_overwrite_anomalous_honors_time_bounds(self):
+        from repro.sim.batch import _overwrite_anomalous
+        region = AnomalousRegion(1, 1, 2, t_lo=2, t_hi=4)
+        v = np.zeros((1, 8, 5, 5), dtype=bool)
+        h = np.zeros((1, 8, 4, 4), dtype=bool)
+        m = np.zeros((1, 8, 4, 5), dtype=bool)
+        _overwrite_anomalous(v, h, m, 0, region, 5, 0.0, 1.0,
+                             np.random.default_rng(0))
+        assert v[0, 2:4].any() and m[0, 2:4].any()
+        for arr in (v, h, m):
+            assert not arr[0, :2].any()
+            assert not arr[0, 4:].any()
+
+
+class TestBatchRunner:
+    def _kernel(self):
+        return MemoryShotKernel(5, 0.03)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            BatchShotRunner(self._kernel(), workers=-1)
+        with pytest.raises(ValueError):
+            BatchShotRunner(self._kernel(), batch_size=0)
+        with pytest.raises(ValueError):
+            BatchShotRunner(self._kernel()).run(0)
+
+    def test_deterministic_for_fixed_seed(self):
+        a = BatchShotRunner(self._kernel(), seed=11).run(300)
+        b = BatchShotRunner(self._kernel(), seed=11).run(300)
+        assert np.array_equal(a.outcomes, b.outcomes)
+        assert a.estimate.successes == b.estimate.successes
+
+    def test_partial_final_batch(self):
+        result = BatchShotRunner(self._kernel(), batch_size=64,
+                                 seed=1).run(100)
+        assert result.shots == 100
+        assert result.estimate.trials == 100
+
+    def test_outcomes_independent_of_batching_workers(self):
+        """Chunk seeds come from one SeedSequence: the pool must return
+        exactly the in-process outcomes."""
+        solo = BatchShotRunner(self._kernel(), batch_size=50,
+                               seed=5).run(150)
+        pooled = BatchShotRunner(self._kernel(), workers=2, batch_size=50,
+                                 seed=5).run(150)
+        assert np.array_equal(solo.outcomes, pooled.outcomes)
+
+    def test_early_stop_on_tight_wilson_interval(self):
+        kernel = MemoryShotKernel(3, 0.15)  # high failure rate: converges
+        runner = BatchShotRunner(kernel, batch_size=128, seed=2)
+        result = runner.run(100_000, target_rel_width=0.5)
+        assert result.stopped_early
+        assert result.shots < 100_000
+        lo, hi = result.estimate.interval
+        assert (hi - lo) <= 0.5 * result.estimate.mean
+
+    def test_no_early_stop_without_target(self):
+        result = BatchShotRunner(self._kernel(), batch_size=128,
+                                 seed=3).run(256)
+        assert not result.stopped_early
+        assert result.shots == 256
+
+
+class TestMemoryBatchEquivalence:
+    def test_batch_matches_sequential_distribution(self):
+        """Same error model through both engines: the failure rates must
+        agree within Monte-Carlo resolution."""
+        exp = MemoryExperiment(7, 0.02,
+                               region=AnomalousRegion.centered(7, 2))
+        samples = 800
+        seq = exp.run(samples, np.random.default_rng(21))
+        bat = exp.run(samples, workers=1, seed=21)
+        p = (seq.per_run + bat.per_run) / 2
+        se = np.sqrt(max(2 * p * (1 - p) / samples, 1e-9))
+        assert abs(seq.per_run - bat.per_run) < 5 * se
+
+    def test_batch_deterministic_and_worker_invariant(self):
+        exp = MemoryExperiment(7, 0.02, region=AnomalousRegion.centered(7, 2))
+        one = exp.run(200, workers=1, seed=9)
+        again = exp.run(200, workers=1, seed=9)
+        pooled = exp.run(200, workers=2, seed=9)
+        assert one.failures == again.failures == pooled.failures
+
+    def test_mwpm_kernel_path(self):
+        est = MemoryExperiment(5, 0.02, decoder="mwpm").run(
+            60, workers=1, seed=4)
+        assert est.samples == 60
+        assert 0 <= est.failures <= 60
+
+    def test_early_stop_via_experiment(self):
+        exp = MemoryExperiment(3, 0.15)
+        est = exp.run(50_000, workers=1, seed=13, target_rel_width=0.5)
+        assert est.samples < 50_000
+
+
+class TestEndToEndBatch:
+    def test_batched_campaign_deterministic_and_pool_invariant(self):
+        exp = EndToEndExperiment(9, 0.008, anomaly_size=3, onset=60,
+                                 cycles=140, c_win=50, n_th=6)
+        a = exp.run(24, workers=1, seed=31, batch_size=12)
+        b = exp.run(24, workers=1, seed=31, batch_size=12)
+        c = exp.run(24, workers=2, seed=31, batch_size=12)
+        for res in (b, c):
+            assert res.naive_failures == a.naive_failures
+            assert res.detected_failures == a.detected_failures
+            assert res.oracle_failures == a.oracle_failures
+            assert res.detections == a.detections
+
+    def test_batched_campaign_detects_strikes(self):
+        exp = EndToEndExperiment(9, 0.008, anomaly_size=3, onset=60,
+                                 cycles=140, c_win=50, n_th=6)
+        res = exp.run(24, workers=1, seed=31)
+        assert res.detection_rate > 0.7
+        assert res.mean_latency >= 0
+
+    @pytest.mark.slow
+    def test_batch_matches_sequential_distribution(self):
+        """Both engines score the same experiment: every failure rate
+        must agree within Monte-Carlo resolution."""
+        exp = EndToEndExperiment(9, 0.008, anomaly_size=3, onset=60,
+                                 cycles=140, c_win=50, n_th=6)
+        shots = 120
+        seq = exp.run(shots, np.random.default_rng(41))
+        bat = exp.run(shots, workers=1, seed=41)
+        for key in ("naive", "detected", "oracle"):
+            p = (seq.rates()[key] + bat.rates()[key]) / 2
+            se = np.sqrt(max(2 * p * (1 - p) / shots, 1e-9))
+            assert abs(seq.rates()[key] - bat.rates()[key]) < 5 * se, key
+        assert abs(seq.detection_rate - bat.detection_rate) < 0.25
+
+
+class TestDetectionTrialsBatch:
+    def test_batched_trials_deterministic_and_pool_invariant(self):
+        kwargs = dict(distance=11, p=1e-3, p_ano=0.05, anomaly_size=3,
+                      c_win=120, n_th=8, trials=6, seed=17)
+        a = run_detection_trials(workers=1, **kwargs)
+        b = run_detection_trials(workers=1, **kwargs)
+        c = run_detection_trials(workers=2, **kwargs)
+        assert a.detections == b.detections == c.detections
+        assert a.false_positives == b.false_positives == c.false_positives
+
+    def test_batched_trials_find_the_anomaly(self):
+        perf = run_detection_trials(
+            11, 1e-3, 0.05, anomaly_size=3, c_win=120, n_th=8,
+            trials=6, seed=17, workers=1)
+        assert perf.miss_rate == 0.0
+        assert perf.mean_position_error < 4.0
+
+    @pytest.mark.slow
+    def test_batch_matches_sequential_distribution(self):
+        """The windowed-count scan must reproduce the streamed unit's
+        outcomes within Monte-Carlo resolution."""
+        kwargs = dict(distance=11, p=1e-3, p_ano=0.05, anomaly_size=3,
+                      c_win=100, n_th=8, trials=16)
+        seq = run_detection_trials(seed=23, workers=0, **kwargs)
+        bat = run_detection_trials(seed=23, workers=1, **kwargs)
+        assert seq.miss_rate == bat.miss_rate == 0.0
+        assert abs(seq.false_positive_rate - bat.false_positive_rate) <= 0.5
+        assert abs(seq.mean_latency - bat.mean_latency) <= 10
+        assert abs(seq.mean_position_error - bat.mean_position_error) <= 2.0

@@ -102,6 +102,36 @@ class TestMatchingValidity:
             pruned = MWPMDecoder(model, prune_factor=1.5).decode(nodes)
             assert full.weight == pytest.approx(pruned.weight)
 
+    def test_pruned_mwpm_is_exact_on_adversarial_sets(self):
+        """Regression for the pruning bug: the zero-weight twin-twin
+        edges must be added even when the node-node edge (i, j) is
+        pruned, or the reduction loses perfect matchings it may need.
+        Mixed clusters — tight pairs plus far-flung boundary-bound
+        nodes — maximize pruned edges; with weighted regions the via
+        paths shuffle which edges survive.  The pruned decoder must stay
+        exactly minimum-weight through all of it, at the aggressive
+        prune_factor = 1.0 as well."""
+        rng = np.random.default_rng(7)
+        region = AnomalousRegion(2, 2, 3)
+        models = [DistanceModel(9), DistanceModel(9, region, 0.0),
+                  DistanceModel(9, region, 0.3)]
+        for trial in range(12):
+            # Tight cluster far from the boundary + scattered loners.
+            cluster = np.column_stack([
+                rng.integers(4, 7, 4), rng.integers(3, 5, 4),
+                rng.integers(3, 6, 4)])
+            loners = np.column_stack([
+                rng.integers(0, 10, 4), rng.integers(0, 8, 4),
+                rng.integers(0, 9, 4)])
+            nodes = np.vstack([cluster, loners])
+            model = models[trial % len(models)]
+            full = MWPMDecoder(model, prune_factor=None).decode(nodes)
+            for factor in (1.0, 1.5):
+                pruned = MWPMDecoder(model, prune_factor=factor).decode(nodes)
+                assert pruned.covers_all(len(nodes))
+                assert pruned.weight == pytest.approx(full.weight), (
+                    trial, factor)
+
 
 class TestEndToEndDecoding:
     def test_single_data_error_corrected(self):

@@ -31,6 +31,7 @@ class TestResultType:
             exp.run(0)
 
 
+@pytest.mark.slow
 class TestCampaign:
     def test_detection_usually_fires(self, campaign):
         assert campaign.detection_rate > 0.8
@@ -49,6 +50,66 @@ class TestCampaign:
         # campaign's statistical resolution).
         assert rates["oracle"] <= rates["naive"]
         assert rates["detected"] <= rates["oracle"] + 0.25
+
+
+class TestPreOnsetFalsePositive:
+    """Regression for the discard bug: a pre-onset false positive used
+    to leave its detection mask in place, which could blind the unit to
+    the real strike at the same position for mask_cycles."""
+
+    @staticmethod
+    def _unit_and_streams():
+        from repro.core.anomaly import AnomalyDetectionUnit
+        from repro.core.statistics import (SyndromeStatistics,
+                                           expected_activity_rate)
+        shape = (8, 9)
+        stats = SyndromeStatistics.from_activity_rate(
+            expected_activity_rate(0.005))
+        unit = AnomalyDetectionUnit(shape, stats, c_win=40, n_th=6,
+                                    alpha=0.01)
+        burst = np.zeros(shape, dtype=np.int32)
+        burst[2:6, 2:6] = 1  # a hot 4x4 patch trips > n_th counters
+        quiet = np.zeros(shape, dtype=np.int32)
+        return unit, burst, quiet
+
+    def _drive(self, clear_discarded_masks: bool) -> bool:
+        """Replay the EndToEndExperiment loop semantics: a transient
+        burst before onset (discarded), then the real strike at the same
+        position.  Returns whether the real strike was detected."""
+        unit, burst, quiet = self._unit_and_streams()
+        onset = 120
+        stream = ([burst] * 50 + [quiet] * 70  # transient false positive
+                  + [burst] * 80)              # the real strike
+        for t, activity in enumerate(stream):
+            evt = unit.observe(activity)
+            if evt is None:
+                continue
+            if evt.cycle < onset:
+                if clear_discarded_masks:
+                    unit.clear_masks()
+                continue
+            return True
+        return False
+
+    def test_fixed_discard_keeps_strike_detectable(self):
+        assert self._drive(clear_discarded_masks=True)
+
+    def test_stale_mask_would_have_blinded_the_unit(self):
+        """The scenario is a real discriminator: without the fix the
+        mask from the discarded event suppresses the true detection."""
+        assert not self._drive(clear_discarded_masks=False)
+
+    def test_clear_masks_resets_only_masks(self):
+        unit, burst, _ = self._unit_and_streams()
+        for _ in range(45):
+            unit.observe(burst)
+        assert (unit._mask_until >= 0).any()
+        counts_before = unit.counts.copy()
+        cycle_before = unit.cycle
+        unit.clear_masks()
+        assert (unit._mask_until == -1).all()
+        assert np.array_equal(unit.counts, counts_before)
+        assert unit.cycle == cycle_before
 
 
 class TestSingleShot:

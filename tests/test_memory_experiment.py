@@ -30,6 +30,26 @@ class TestEstimate:
         est = LogicalErrorEstimate(5, 100, cycles=10)
         assert est.per_cycle_std_error > 0
 
+    def test_per_cycle_std_error_matches_bootstrap(self):
+        """Regression for the error-propagation bug: the delta method
+        must track the empirical spread of per_cycle across binomial
+        resamples; dividing by T alone understates it once P is large."""
+        failures, samples, cycles = 150, 500, 10
+        est = LogicalErrorEstimate(failures, samples, cycles)
+        rng = np.random.default_rng(0)
+        resampled = rng.binomial(samples, failures / samples, size=20_000)
+        per_cycle = 1.0 - (1.0 - resampled / samples) ** (1.0 / cycles)
+        bootstrap_std = float(per_cycle.std())
+        assert est.per_cycle_std_error == pytest.approx(bootstrap_std,
+                                                        rel=0.05)
+        # The old 1/T scaling misses the (1-P)^(1/T-1) amplification.
+        naive = est.estimate.std_error / cycles
+        assert est.per_cycle_std_error > 1.2 * naive
+
+    def test_per_cycle_std_error_saturated_estimate(self):
+        est = LogicalErrorEstimate(100, 100, cycles=10)
+        assert np.isfinite(est.per_cycle_std_error)
+
 
 class TestExperiment:
     def test_invalid_decoder_rejected(self):
@@ -70,6 +90,7 @@ class TestPaperShapes:
         dirty = logical_error_rate(9, p, samples=400, region=region, seed=2)
         assert dirty.per_run > 2 * clean.per_run
 
+    @pytest.mark.slow
     def test_informed_decoding_helps(self):
         # Fig. 8: with-rollback beats without-rollback at low p.
         p = 0.008
@@ -79,6 +100,7 @@ class TestPaperShapes:
                                       informed=True, seed=4)
         assert informed.per_run < naive.per_run
 
+    @pytest.mark.slow
     def test_larger_anomaly_is_worse(self):
         p = 0.008
         small = logical_error_rate(
