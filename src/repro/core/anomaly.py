@@ -41,7 +41,11 @@ class AnomalyDetectionUnit:
 
     Args:
         shape: node-grid shape ``(rows, cols)``.
-        stats: calibrated normal-qubit activity statistics.
+        stats: calibrated normal-qubit activity statistics.  Must have
+            ``sigma > 0`` (an all-equal calibration stream would set
+            ``V_th`` to the mean and flag on the first active
+            observation); :func:`detection_threshold` rejects degenerate
+            statistics at construction time.
         c_win: window length in cycles.
         n_th: number of above-threshold counters that signals an MBBE.
         alpha: per-counter false-positive rate (confidence ``1 - alpha``).

@@ -48,13 +48,25 @@ class SyndromeStatistics:
         """Estimate (mu, sigma) from an observed activity stream.
 
         ``activity`` is any array of 0/1 node-activity samples (the
-        pre-calibration phase of the paper).
+        pre-calibration phase of the paper).  Sigma uses the unbiased
+        ``ddof = 1`` estimator: the biased ``ddof = 0`` form understates
+        sigma — and with it every V_th derived from the calibration — by
+        a factor ``sqrt(1 - 1/n)``, which is material for short streams.
+        An all-equal stream (including a single sample) carries no
+        variance information, so its sigma is floored at the Bernoulli
+        sigma of the add-two smoothed rate ``1 / (n + 2)`` — the value a
+        stream one observation longer could not rule out — rather than
+        reported as zero, which would make any later threshold
+        degenerate (see :func:`detection_threshold`).
         """
         arr = np.asarray(activity, dtype=float)
         if arr.size == 0:
             raise ValueError("cannot calibrate on an empty stream")
         mu = float(arr.mean())
-        sigma = float(arr.std())
+        sigma = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+        if sigma == 0.0:
+            floor_rate = 1.0 / (arr.size + 2.0)
+            sigma = math.sqrt(floor_rate * (1.0 - floor_rate))
         return cls(mu, sigma)
 
 
@@ -74,11 +86,25 @@ def expected_activity_rate(p: float, degree: int = 6) -> float:
 
 def detection_threshold(stats: SyndromeStatistics, c_win: int,
                         alpha: float = 0.01) -> float:
-    """Eq. (3): the per-counter confidence threshold V_th."""
+    """Eq. (3): the per-counter confidence threshold V_th.
+
+    Degenerate statistics (``sigma == 0``, e.g. ``mu`` of exactly 0 or
+    an all-equal calibration stream fed straight into
+    :class:`SyndromeStatistics`) are rejected: they would collapse V_th
+    onto the mean — with ``mu = 0``, to V_th = 0 — so the very first
+    active observation of a healthy qubit would flag an MBBE.
+    :meth:`SyndromeStatistics.calibrate` floors sigma away from this
+    regime; anything else constructing statistics by hand must too.
+    """
     if c_win < 1:
         raise ValueError("window must hold at least one cycle")
     if not 0.0 < alpha < 1.0:
         raise ValueError("alpha must be in (0, 1)")
+    if stats.sigma == 0.0:
+        raise ValueError(
+            "sigma must be positive to set a confidence threshold; "
+            "calibrate on a stream with variation (or use "
+            "SyndromeStatistics.calibrate, which floors sigma)")
     return (c_win * stats.mu
             + math.sqrt(2.0 * c_win) * stats.sigma * float(erfinv(1.0 - alpha)))
 

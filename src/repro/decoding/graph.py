@@ -9,11 +9,27 @@ All extraction methods operate on the trailing ``(T, rows, cols)`` axes,
 so a whole batch of shots can be processed in one call by passing
 ``(shots, T, rows, cols)`` arrays (the batched shot engine's layout);
 time is always axis ``-3``.
+
+The ``*_packed`` variants take the bit-packed layout of
+:mod:`repro.sim.bitops` instead — ``(words, T, rows, cols)`` uint64
+arrays holding 64 shots per word — and replace every cumulative-sum /
+uint8-XOR pass with one word-wise XOR over 64 shots at a time.  They
+produce bit-identical syndromes to the unpacked methods applied to the
+same sampled bits; nothing is unpacked until a consumer asks for one
+shot's active-node coordinates.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
+
+
+#: Shots per packed word — must equal :data:`repro.sim.bitops.WORD_BITS`
+#: (kept as a local constant: importing ``repro.sim`` from here would
+#: close a package cycle through the experiment modules).
+_WORD_BITS = 64
 
 
 class SyndromeLattice:
@@ -90,6 +106,113 @@ class SyndromeLattice:
         # searchsorted recovers the per-shot slices without a Python scan.
         bounds = np.searchsorted(coords[:, 0], np.arange(shots + 1))
         return [coords[bounds[s]:bounds[s + 1], 1:] for s in range(shots)]
+
+    # ------------------------------------------------------------------
+    # Bit-packed variants: (words, T, rows, cols) uint64, 64 shots/word.
+    # ------------------------------------------------------------------
+    def true_syndromes_packed(self, v: np.ndarray,
+                              h: np.ndarray) -> np.ndarray:
+        """Packed :meth:`true_syndromes`: XOR-scan instead of cumsum.
+
+        The mod-2 cumulative sum along time becomes a single
+        ``bitwise_xor.accumulate`` over uint64 words, 64 shots per
+        element.
+        """
+        cum_v = np.bitwise_xor.accumulate(v, axis=-3)
+        cum_h = np.bitwise_xor.accumulate(h, axis=-3)
+        synd = cum_v[..., :-1, :] ^ cum_v[..., 1:, :]
+        synd[..., :-1] ^= cum_h
+        synd[..., 1:] ^= cum_h
+        return synd
+
+    def measured_layers_packed(self, v: np.ndarray, h: np.ndarray,
+                               m: np.ndarray) -> np.ndarray:
+        """Packed :meth:`measured_layers`; shape ``(words, T+1, d-1, d)``."""
+        true = self.true_syndromes_packed(v, h)
+        cycles = v.shape[-3]
+        shape = v.shape[:-3] + (cycles + 1, self.node_rows, self.node_cols)
+        layers = np.empty(shape, dtype=np.uint64)
+        layers[..., :cycles, :, :] = true ^ m
+        layers[..., cycles, :, :] = true[..., cycles - 1, :, :]
+        return layers
+
+    def per_cycle_activity_packed(self, v: np.ndarray, h: np.ndarray,
+                                  m: np.ndarray) -> np.ndarray:
+        """Packed :meth:`per_cycle_activity`; shape ``(words, T, d-1, d)``."""
+        noisy = self.true_syndromes_packed(v, h) ^ m
+        diff = noisy.copy()
+        diff[..., 1:, :, :] ^= noisy[..., :-1, :, :]
+        return diff
+
+    def detection_events_packed(self, v: np.ndarray, h: np.ndarray,
+                                m: np.ndarray):
+        """Packed :meth:`detection_events_batch`: active nodes, still packed.
+
+        Returns ``(coords, vals, bounds)`` as produced by
+        :meth:`packed_active_nodes` on the difference lattice; feed them
+        to :meth:`shot_nodes` to materialize one shot's coordinates.
+        """
+        diff = self.difference_lattice(self.measured_layers_packed(v, h, m))
+        return self.packed_active_nodes(diff)
+
+    @staticmethod
+    def packed_active_nodes(diff: np.ndarray):
+        """Index the nonzero words of a packed difference lattice.
+
+        Returns ``(coords, vals, bounds)``: ``coords`` is the
+        ``(n, 4)`` array of ``(word, t, i, j)`` positions where *any* of
+        the 64 shots is active (lexicographically sorted, so each word's
+        rows keep the unpacked ``argwhere`` order), ``vals`` the uint64
+        word at each position, and ``bounds`` the per-word slice offsets
+        into both.  This is the whole batch's syndrome in one sweep; no
+        per-shot arrays exist yet.
+        """
+        coords = np.argwhere(diff != 0)
+        vals = diff[tuple(coords.T)] if len(coords) else \
+            np.zeros(0, dtype=np.uint64)
+        bounds = np.searchsorted(coords[:, 0], np.arange(diff.shape[0] + 1))
+        return coords, vals, bounds
+
+    @staticmethod
+    def shot_nodes(coords: np.ndarray, vals: np.ndarray, bounds: np.ndarray,
+                   shot: int, t_stop: Optional[int] = None) -> np.ndarray:
+        """One shot's active-node coordinates from packed nonzero words.
+
+        Selects the rows of ``coords`` whose word holds ``shot``'s lane
+        bit (optionally restricted to layers ``t < t_stop``); the result
+        is exactly what :meth:`detection_events` returns for that shot's
+        bits, in the same ``(t, i, j)`` order.
+        """
+        w, b = divmod(shot, _WORD_BITS)
+        lo, hi = int(bounds[w]), int(bounds[w + 1])
+        sel = ((vals[lo:hi] >> np.uint64(b)) & np.uint64(1)).astype(bool)
+        if t_stop is not None:
+            sel &= coords[lo:hi, 1] < t_stop
+        return coords[lo:hi, 1:][sel]
+
+    @staticmethod
+    def error_cut_parity_packed(v: np.ndarray) -> np.ndarray:
+        """Packed :meth:`error_cut_parity`: one parity word per 64 shots.
+
+        Bit ``s % 64`` of word ``s // 64`` is shot ``s``'s north-cut
+        error parity — the mod-2 flip count collapses to an XOR
+        reduction over the ``k = 0`` vertical edges.
+        """
+        north = v[:, :, 0, :]
+        return np.bitwise_xor.reduce(
+            north.reshape(north.shape[0], -1), axis=1)
+
+    @staticmethod
+    def north_cut_prefix_packed(v: np.ndarray) -> np.ndarray:
+        """Running north-cut parities, packed: shape ``(words, T)``.
+
+        Bit ``s % 64`` of ``[s // 64, t]`` is the error cut parity of
+        shot ``s`` truncated after cycle ``t`` (i.e. of ``v[:t + 1]``),
+        which is what the end-to-end kernel scores shots against when a
+        detection stops the run early.
+        """
+        per_cycle = np.bitwise_xor.reduce(v[:, :, 0, :], axis=-1)
+        return np.bitwise_xor.accumulate(per_cycle, axis=1)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -88,6 +88,44 @@ class AnomalousRegion:
         return cls(row_lo, col_lo, size, t_lo, t_hi)
 
 
+def build_anomalous_masks(distance: int,
+                          region: Optional[AnomalousRegion]):
+    """Boolean spatial masks of anomalous edges/measurements.
+
+    Returns ``(v_mask, h_mask, m_mask)`` for the decoding lattice of a
+    distance-``distance`` code: the data edges incident on the region's
+    nodes and the region's syndrome measurements.  Shared by
+    :class:`PhenomenologicalNoise` and the shot kernels' per-shot
+    region overwrites (which must not pay a noise-model construction
+    per shot just to read the masks).
+    """
+    d = distance
+    v_mask = np.zeros((d, d), dtype=bool)
+    h_mask = np.zeros((d - 1, d - 1), dtype=bool)
+    m_mask = np.zeros((d - 1, d), dtype=bool)
+    if region is None:
+        return v_mask, h_mask, m_mask
+    for i in range(max(0, region.row_lo), min(d - 1, region.row_hi)):
+        for j in range(max(0, region.col_lo), min(d, region.col_hi)):
+            m_mask[i, j] = True
+            # Edges incident on node (i, j): vertical k=i and k=i+1,
+            # horizontal (i, j-1) and (i, j).
+            v_mask[i, j] = True
+            v_mask[i + 1, j] = True
+            if j - 1 >= 0 and j - 1 < d - 1:
+                h_mask[i, j - 1] = True
+            if j < d - 1:
+                h_mask[i, j] = True
+    return v_mask, h_mask, m_mask
+
+
+#: Shots drawn per float scratch block inside ``sample_batch_packed``.
+#: Word-aligned (a multiple of 64) so every block fills whole uint64
+#: words; one word keeps the float scratch of the largest Fig. 8 point
+#: around a megabyte, so the packed batch itself dominates peak memory.
+PACKED_SAMPLE_CHUNK = 64
+
+
 class PhenomenologicalNoise:
     """Samples per-cycle error arrays for the Z-decoding lattice.
 
@@ -116,30 +154,7 @@ class PhenomenologicalNoise:
         self.p = p
         self.p_ano = p_ano
         self.region = region
-        self._masks = self._build_masks()
-
-    # ------------------------------------------------------------------
-    def _build_masks(self):
-        """Boolean spatial masks of anomalous edges/measurements."""
-        d = self.distance
-        v_mask = np.zeros((d, d), dtype=bool)
-        h_mask = np.zeros((d - 1, d - 1), dtype=bool)
-        m_mask = np.zeros((d - 1, d), dtype=bool)
-        if self.region is None:
-            return v_mask, h_mask, m_mask
-        reg = self.region
-        for i in range(max(0, reg.row_lo), min(d - 1, reg.row_hi)):
-            for j in range(max(0, reg.col_lo), min(d, reg.col_hi)):
-                m_mask[i, j] = True
-                # Edges incident on node (i, j): vertical k=i and k=i+1,
-                # horizontal (i, j-1) and (i, j).
-                v_mask[i, j] = True
-                v_mask[i + 1, j] = True
-                if j - 1 >= 0 and j - 1 < d - 1:
-                    h_mask[i, j - 1] = True
-                if j < d - 1:
-                    h_mask[i, j] = True
-        return v_mask, h_mask, m_mask
+        self._masks = build_anomalous_masks(distance, region)
 
     @property
     def anomalous_masks(self):
@@ -186,3 +201,57 @@ class PhenomenologicalNoise:
                 m[:, t_lo:t_hi][:, :, m_mask] = (
                     rng.random((shots, span, int(m_mask.sum()))) < self.p_ano)
         return v, h, m
+
+    def sample_batch_packed(self, shots: int, cycles: int,
+                            rng: np.random.Generator):
+        """Bit-packed :meth:`sample_batch`: 64 shots per uint64 word.
+
+        Returns ``(v, h, m)`` uint64 arrays of shapes
+        ``(words, T, d, d)``, ``(words, T, d-1, d-1)``,
+        ``(words, T, d-1, d)`` with ``words = ceil(shots / 64)``; lane
+        ``s % 64`` of word ``s // 64`` holds shot ``s`` (see
+        :mod:`repro.sim.bitops`).
+
+        Draws the *identical* uniform stream as :meth:`sample_batch` —
+        each array is filled in word-aligned shot blocks whose
+        concatenation is the same C-ordered sequence one big
+        ``rng.random`` call would produce — so for a given generator
+        state the packed bits equal the float path's bits exactly, while
+        the float scratch never exceeds one
+        :data:`PACKED_SAMPLE_CHUNK`-shot block (~1 bit stored per
+        sampled bit instead of 8 bytes).
+        """
+        from repro.sim.bitops import pack_shots, word_count
+
+        if shots < 1:
+            raise ValueError("need at least one shot")
+        d = self.distance
+        words = word_count(shots)
+        shapes = ((d, d), (d - 1, d - 1), (d - 1, d))
+
+        def blocks():
+            for start in range(0, shots, PACKED_SAMPLE_CHUNK):
+                n = min(PACKED_SAMPLE_CHUNK, shots - start)
+                yield start // 64, word_count(n), n
+
+        packed = []
+        for shape in shapes:
+            arr = np.empty((words, cycles) + shape, dtype=np.uint64)
+            for w0, nw, n in blocks():
+                arr[w0:w0 + nw] = pack_shots(
+                    rng.random((n, cycles) + shape) < self.p)
+            packed.append(arr)
+
+        if self.region is not None and self.p_ano != self.p:
+            t_lo = self.region.t_lo
+            t_hi = (self.region.t_hi if self.region.t_hi is not None
+                    else cycles)
+            t_lo, t_hi = max(0, t_lo), min(cycles, t_hi)
+            if t_hi > t_lo:
+                span = t_hi - t_lo
+                for arr, mask in zip(packed, self._masks):
+                    k = int(mask.sum())
+                    for w0, nw, n in blocks():
+                        arr[w0:w0 + nw, t_lo:t_hi][:, :, mask] = pack_shots(
+                            rng.random((n, span, k)) < self.p_ano)
+        return tuple(packed)

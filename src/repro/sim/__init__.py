@@ -14,12 +14,18 @@ from repro.sim.batch import (
     BatchShotRunner,
     DetectionTrialKernel,
     EndToEndShotKernel,
+    MatchingCache,
     MemoryShotKernel,
+    PACKING_MODES,
 )
+from repro.sim import bitops
 
 __all__ = [
     "BatchRunResult",
     "BatchShotRunner",
+    "MatchingCache",
+    "PACKING_MODES",
+    "bitops",
     "DetectionTrialKernel",
     "EndToEndShotKernel",
     "MemoryShotKernel",

@@ -11,6 +11,20 @@ module is the production hot path:
   itself runs per shot, through the pruned fast-greedy core that is
   certified exactly equal to the sequential decoder.
 
+* **Bit-packed backend** — ``packing="bits"`` (the default) samples
+  Bernoulli bits straight into uint64 words (64 shots per word, see
+  :mod:`repro.sim.bitops`) and runs syndrome differences and boundary
+  parities as word-wise XOR; nothing is unpacked until decode, and
+  decode materializes only each shot's active-node coordinates.  The
+  packed backend consumes the identical uniform stream as the float
+  path, so for the same ``(seed, batch_size)`` its outcomes are
+  *bit-identical* — ``packing="none"`` remains the certified reference.
+
+* **Matching memoization** — low-``p`` shots repeat the same few-node
+  syndromes constantly; :class:`MatchingCache` reuses their cut
+  parities across shots (hit counts surface in
+  :attr:`BatchRunResult.cache_hits`).
+
 * **Process fan-out** — ``workers > 1`` decodes batches on a
   ``multiprocessing`` pool.  Each worker builds its kernel (and decoder)
   once and reuses it for every batch it is handed.
@@ -41,17 +55,63 @@ from repro.decoding.graph import SyndromeLattice
 from repro.decoding.greedy import greedy_cut_parity
 from repro.decoding.mwpm import MWPMDecoder
 from repro.decoding.weights import DistanceModel, relative_anomalous_weight
-from repro.noise.models import AnomalousRegion, PhenomenologicalNoise
+from repro.noise.models import (AnomalousRegion, PhenomenologicalNoise,
+                                build_anomalous_masks)
+from repro.sim import bitops
 from repro.sim.endtoend import estimate_strike_region
 from repro.sim.montecarlo import BinomialEstimate, wilson_interval
+
+#: Recognized values of the shot-engine ``packing`` knob.
+PACKING_MODES = ("bits", "none")
 
 
 # ----------------------------------------------------------------------
 # Shared kernel pieces
 # ----------------------------------------------------------------------
+class MatchingCache:
+    """Memoized cut parities for repeated small active-node sets.
+
+    At low physical error rates most shots light up the same handful of
+    syndrome patterns over and over; rather than re-running the matching,
+    the kernels key its north-cut parity on the frozen coordinate bytes.
+    Only sets of at most ``max_nodes`` nodes are cached (large sets are
+    effectively unique, and skipping them bounds key size); the table is
+    dropped wholesale if it ever reaches ``max_entries``.
+    """
+
+    def __init__(self, max_nodes: int = 16, max_entries: int = 1 << 16):
+        self.max_nodes = max_nodes
+        self.max_entries = max_entries
+        self.hits = 0
+        self._table: dict[bytes, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def parity(self, nodes: np.ndarray, compute) -> int:
+        """``compute(nodes)`` through the cache (pure memoization)."""
+        if len(nodes) > self.max_nodes:
+            return compute(nodes)
+        key = nodes.tobytes()
+        found = self._table.get(key)
+        if found is not None:
+            self.hits += 1
+            return found
+        if len(self._table) >= self.max_entries:
+            self._table.clear()
+        value = compute(nodes)
+        self._table[key] = value
+        return value
+
+
+def _cache_hits(kernel) -> int:
+    cache = getattr(kernel, "cache", None)
+    return cache.hits if cache is not None else 0
+
+
 def _overwrite_anomalous(v: np.ndarray, h: np.ndarray, m: np.ndarray,
                          shot: int, region: AnomalousRegion,
-                         distance: int, p: float, p_ano: float,
+                         distance: int, p_ano: float,
                          rng: np.random.Generator) -> None:
     """Resample one shot's error arrays at ``p_ano`` inside ``region``.
 
@@ -59,8 +119,7 @@ def _overwrite_anomalous(v: np.ndarray, h: np.ndarray, m: np.ndarray,
     per-shot regions then only touch their own cells, mirroring
     ``PhenomenologicalNoise.sample`` with that region.
     """
-    masks = PhenomenologicalNoise(distance, p, p_ano,
-                                  region).anomalous_masks
+    masks = build_anomalous_masks(distance, region)
     cycles = v.shape[1]
     t_hi = region.t_hi if region.t_hi is not None else cycles
     t_lo, t_hi = max(0, region.t_lo), min(cycles, t_hi)
@@ -70,6 +129,32 @@ def _overwrite_anomalous(v: np.ndarray, h: np.ndarray, m: np.ndarray,
     for arr, mask in zip((v, h, m), masks):
         arr[shot, t_lo:t_hi][:, mask] = (
             rng.random((span, int(mask.sum()))) < p_ano)
+
+
+def _overwrite_anomalous_packed(v: np.ndarray, h: np.ndarray, m: np.ndarray,
+                                shot: int, region: AnomalousRegion,
+                                distance: int, p_ano: float,
+                                rng: np.random.Generator) -> None:
+    """Packed-word counterpart of :func:`_overwrite_anomalous`.
+
+    Draws the identical uniforms (same shapes, same order), then
+    deposits them into ``shot``'s lane of the affected words with a
+    set/clear mask — the rest of the word's 64 shots are untouched.
+    """
+    masks = build_anomalous_masks(distance, region)
+    cycles = v.shape[1]
+    t_hi = region.t_hi if region.t_hi is not None else cycles
+    t_lo, t_hi = max(0, region.t_lo), min(cycles, t_hi)
+    if t_hi <= t_lo:
+        return
+    span = t_hi - t_lo
+    w, b = divmod(shot, bitops.WORD_BITS)
+    bit = np.uint64(1) << np.uint64(b)
+    for arr, mask in zip((v, h, m), masks):
+        bits = rng.random((span, int(mask.sum()))) < p_ano
+        view = arr[w, t_lo:t_hi]
+        current = view[:, mask]
+        view[:, mask] = np.where(bits, current | bit, current & ~bit)
 
 
 def _windowed_over(activity: np.ndarray, c_win: int,
@@ -114,7 +199,8 @@ class MemoryShotKernel:
     def __init__(self, distance: int, p: float,
                  region: Optional[AnomalousRegion] = None,
                  p_ano: float = 0.5, decoder: str = "greedy",
-                 informed: bool = False, cycles: Optional[int] = None):
+                 informed: bool = False, cycles: Optional[int] = None,
+                 cache_matchings: bool = True):
         self.distance = distance
         self.p = p
         self.region = region
@@ -122,6 +208,8 @@ class MemoryShotKernel:
         self.decoder = decoder
         self.informed = informed
         self.cycles = cycles if cycles is not None else distance
+        self.cache_matchings = cache_matchings
+        self.cache: Optional[MatchingCache] = None
         self._state = None
 
     def prepare(self) -> None:
@@ -137,28 +225,59 @@ class MemoryShotKernel:
         else:
             model = DistanceModel(self.distance)
         mwpm = MWPMDecoder(model) if self.decoder == "mwpm" else None
+        self.cache = MatchingCache() if self.cache_matchings else None
         self._state = (noise, lattice, model, mwpm)
 
     def __getstate__(self):
         state = self.__dict__.copy()
         state["_state"] = None  # rebuilt lazily inside each worker
+        state["cache"] = None
         return state
+
+    def _cut_parity(self, nodes: np.ndarray) -> int:
+        """Matching north-cut parity for one shot, through the cache."""
+        if len(nodes) == 0:
+            return 0
+        _, _, model, mwpm = self._state
+        if mwpm is not None:
+            def compute(n):
+                return mwpm.decode(n).correction_cut_parity
+        else:
+            def compute(n):
+                return greedy_cut_parity(model, n)
+        if self.cache is None:
+            return compute(nodes)
+        return self.cache.parity(nodes, compute)
 
     def run_batch(self, shots: int, rng: np.random.Generator) -> np.ndarray:
         self.prepare()
-        noise, lattice, model, mwpm = self._state
+        noise, lattice, _, _ = self._state
         v, h, m = noise.sample_batch(shots, self.cycles, rng)
         nodes_per_shot = lattice.detection_events_batch(v, h, m)
         error_parity = lattice.error_cut_parity(v)
         out = np.empty(shots, dtype=np.int8)
         for s, nodes in enumerate(nodes_per_shot):
-            if len(nodes) == 0:
-                correction = 0
-            elif mwpm is not None:
-                correction = mwpm.decode(nodes).correction_cut_parity
-            else:
-                correction = greedy_cut_parity(model, nodes)
-            out[s] = error_parity[s] ^ correction
+            out[s] = error_parity[s] ^ self._cut_parity(nodes)
+        return out
+
+    def run_batch_packed(self, shots: int,
+                         rng: np.random.Generator) -> np.ndarray:
+        """Bit-packed :meth:`run_batch`: identical outputs per seed.
+
+        Sampling, syndrome differences and the boundary parity all stay
+        word-wise over uint64 (64 shots per word); only each shot's
+        active-node coordinates are materialized, for the matching.
+        """
+        self.prepare()
+        noise, lattice, _, _ = self._state
+        v, h, m = noise.sample_batch_packed(shots, self.cycles, rng)
+        coords, vals, bounds = lattice.detection_events_packed(v, h, m)
+        parity_words = lattice.error_cut_parity_packed(v)
+        out = np.empty(shots, dtype=np.int8)
+        for s in range(shots):
+            nodes = lattice.shot_nodes(coords, vals, bounds, s)
+            parity = bitops.lane_bit(parity_words, s)
+            out[s] = parity ^ self._cut_parity(nodes)
         return out
 
 
@@ -207,13 +326,49 @@ class EndToEndShotKernel:
         state["_state"] = None
         return state
 
-    def _failure(self, model, lattice, nodes, v) -> int:
-        return lattice.error_cut_parity(v) ^ greedy_cut_parity(model, nodes)
+    def _detect(self, activity: np.ndarray):
+        """Windowed-count scan of one shot's activity stream.
+
+        Returns ``(stop, estimated, latency)``: where the exposure
+        window closes (``onset + d`` cycles after the flag, or the full
+        run on a miss), the control unit's region estimate, and the
+        detection latency (-1 on a miss).  The single copy of the scan
+        keeps the float and packed paths scoring identically.
+        """
+        _, v_th, _, _, _ = self._state
+        d, cycles, c_win = self.distance, self.cycles, self.c_win
+        over, n_over = _windowed_over(activity, c_win, v_th)
+        start = max(self.onset - (c_win - 1), 0)
+        fired = np.flatnonzero(n_over[start:] > self.n_th)
+        if not len(fired):
+            return cycles, None, -1
+        event_cycle = int(fired[0]) + start + c_win - 1
+        flag_rows, flag_cols = np.nonzero(over[event_cycle - (c_win - 1)])
+        estimated = estimate_strike_region(
+            d, self.anomaly_size, int(np.median(flag_rows)),
+            int(np.median(flag_cols)), max(0, event_cycle - c_win))
+        return (min(cycles, event_cycle + d), estimated,
+                event_cycle - self.onset)
+
+    def _score(self, nodes: np.ndarray, error_parity: int,
+               true_region: AnomalousRegion,
+               estimated: Optional[AnomalousRegion]):
+        """(naive, detected, oracle) failures for one decoded shot."""
+        _, _, _, naive_model, w_ano = self._state
+        d = self.distance
+        naive = error_parity ^ greedy_cut_parity(naive_model, nodes)
+        oracle = error_parity ^ greedy_cut_parity(
+            DistanceModel(d, true_region, w_ano), nodes)
+        if estimated is None:
+            return naive, naive, oracle
+        detected = error_parity ^ greedy_cut_parity(
+            DistanceModel(d, estimated, w_ano), nodes)
+        return naive, detected, oracle
 
     def run_batch(self, shots: int, rng: np.random.Generator) -> np.ndarray:
         self.prepare()
-        lattice, v_th, base_noise, naive_model, w_ano = self._state
-        d, cycles, c_win = self.distance, self.cycles, self.c_win
+        lattice, _, base_noise, _, _ = self._state
+        d, cycles = self.distance, self.cycles
 
         regions = [AnomalousRegion.random(d, self.anomaly_size, rng,
                                           t_lo=self.onset)
@@ -222,43 +377,75 @@ class EndToEndShotKernel:
         # Regions differ per shot, so the anomalous overwrite is the one
         # per-shot sampling step (touching only the region's cells).
         for s, region in enumerate(regions):
-            _overwrite_anomalous(v, h, m, s, region, d, self.p,
-                                 self.p_ano, rng)
+            _overwrite_anomalous(v, h, m, s, region, d, self.p_ano, rng)
         activity = lattice.per_cycle_activity(v, h, m)
 
         out = np.empty((shots, 4), dtype=np.int64)
         for s in range(shots):
-            over, n_over = _windowed_over(activity[s], c_win, v_th)
-            start = max(self.onset - (c_win - 1), 0)
-            fired = np.flatnonzero(n_over[start:] > self.n_th)
-
-            event_cycle = None
-            stop = cycles
-            estimated = None
-            latency = -1
-            if len(fired):
-                event_cycle = int(fired[0]) + start + c_win - 1
-                stop = min(cycles, event_cycle + d)
-                flag_rows, flag_cols = np.nonzero(
-                    over[event_cycle - (c_win - 1)])
-                estimated = estimate_strike_region(
-                    d, self.anomaly_size, int(np.median(flag_rows)),
-                    int(np.median(flag_cols)),
-                    max(0, event_cycle - c_win))
-                latency = event_cycle - self.onset
-
-            vs, hs, ms = v[s, :stop], h[s, :stop], m[s, :stop]
-            nodes = lattice.detection_events(vs, hs, ms)
-            naive = self._failure(naive_model, lattice, nodes, vs)
-            oracle_model = DistanceModel(d, regions[s], w_ano)
-            oracle = self._failure(oracle_model, lattice, nodes, vs)
-            if estimated is not None:
-                detected = self._failure(
-                    DistanceModel(d, estimated, w_ano), lattice, nodes, vs)
-            else:
-                detected = naive
+            stop, estimated, latency = self._detect(activity[s])
+            vs = v[s, :stop]
+            nodes = lattice.detection_events(vs, h[s, :stop], m[s, :stop])
+            naive, detected, oracle = self._score(
+                nodes, lattice.error_cut_parity(vs), regions[s], estimated)
             out[s] = (naive, detected, oracle, latency)
         return out
+
+    def run_batch_packed(self, shots: int,
+                         rng: np.random.Generator) -> np.ndarray:
+        """Bit-packed :meth:`run_batch`: identical outputs per seed.
+
+        The per-shot truncated rerun (``v[:stop]`` …) never happens:
+        the difference lattice of a run stopped at ``stop`` is the first
+        ``stop`` layers of the live activity stream plus a final layer
+        that is exactly ``m[stop - 1]``, and the truncated error parity
+        is one bit of the packed running north-cut parity — all of which
+        are sliced out of the word arrays already computed for the whole
+        batch.
+        """
+        self.prepare()
+        lattice, _, base_noise, _, _ = self._state
+        d, cycles = self.distance, self.cycles
+
+        regions = [AnomalousRegion.random(d, self.anomaly_size, rng,
+                                          t_lo=self.onset)
+                   for _ in range(shots)]
+        v, h, m = base_noise.sample_batch_packed(shots, cycles, rng)
+        for s, region in enumerate(regions):
+            _overwrite_anomalous_packed(v, h, m, s, region, d,
+                                        self.p_ano, rng)
+        activity = lattice.per_cycle_activity_packed(v, h, m)
+        coords, vals, bounds = lattice.packed_active_nodes(activity)
+        north_prefix = lattice.north_cut_prefix_packed(v)
+
+        out = np.empty((shots, 4), dtype=np.int64)
+        for s in range(shots):
+            stop, estimated, latency = self._detect(bitops.lane(activity, s))
+            nodes = self._shot_nodes_truncated(
+                lattice, coords, vals, bounds, m, s, stop)
+            parity = bitops.lane_bit(north_prefix[:, stop - 1], s)
+            naive, detected, oracle = self._score(
+                nodes, parity, regions[s], estimated)
+            out[s] = (naive, detected, oracle, latency)
+        return out
+
+    @staticmethod
+    def _shot_nodes_truncated(lattice, coords, vals, bounds, m,
+                              shot: int, stop: int) -> np.ndarray:
+        """Active nodes of one shot's run truncated after cycle ``stop``.
+
+        Equals ``lattice.detection_events(v[:stop], h[:stop], m[:stop])``
+        bit for bit: activity layers ``t < stop`` plus the final perfect
+        round's events, which reduce to ``m[stop - 1]``.
+        """
+        nodes = lattice.shot_nodes(coords, vals, bounds, shot, t_stop=stop)
+        w, b = divmod(shot, bitops.WORD_BITS)
+        final = np.argwhere(
+            (m[w, stop - 1] >> np.uint64(b)) & np.uint64(1) != 0)
+        if len(final):
+            final = np.hstack([
+                np.full((len(final), 1), stop, dtype=final.dtype), final])
+            nodes = np.vstack([nodes, final])
+        return nodes
 
 
 class DetectionTrialKernel:
@@ -302,42 +489,76 @@ class DetectionTrialKernel:
         state["_state"] = None
         return state
 
+    def _score_trial(self, activity: np.ndarray,
+                     region: AnomalousRegion) -> tuple:
+        """One trial's windowed-count scan and outcome row.
+
+        Returns ``(false_positive, detected, latency, position_error)``;
+        the single copy keeps the float and packed paths scoring
+        identically.
+        """
+        v_th, _, _ = self._state
+        c_win, onset = self.c_win, self.normal_cycles
+        over, n_over = _windowed_over(activity, c_win, v_th)
+        if not len(n_over):
+            return (0.0, 0.0, -1.0, np.nan)
+        # Windowed index k corresponds to cycle t = k + c_win - 1.
+        pre = max(0, onset - (c_win - 1))
+        false_positive = bool(np.any(n_over[:pre] > self.n_th))
+        fired = np.flatnonzero(n_over[pre:] > self.n_th)
+        if not len(fired):
+            return (false_positive, 0.0, -1.0, np.nan)
+        cycle = int(fired[0]) + pre + c_win - 1
+        flag_r, flag_c = np.nonzero(over[cycle - (c_win - 1)])
+        centre_r = region.row_lo + (self.anomaly_size - 1) / 2.0
+        centre_c = region.col_lo + (self.anomaly_size - 1) / 2.0
+        err = math.hypot(int(np.median(flag_r)) - centre_r,
+                         int(np.median(flag_c)) - centre_c)
+        return (false_positive, 1.0, cycle - onset, err)
+
     def run_batch(self, shots: int, rng: np.random.Generator) -> np.ndarray:
         self.prepare()
-        v_th, base_noise, lattice = self._state
-        c_win, onset = self.c_win, self.normal_cycles
+        _, base_noise, lattice = self._state
         total = self.normal_cycles + self.post_cycles
 
         regions = [AnomalousRegion.random(self.distance, self.anomaly_size,
-                                          rng, t_lo=onset)
+                                          rng, t_lo=self.normal_cycles)
                    for _ in range(shots)]
         v, h, m = base_noise.sample_batch(shots, total, rng)
         for s, region in enumerate(regions):
             _overwrite_anomalous(v, h, m, s, region, self.distance,
-                                 self.p, self.p_ano, rng)
+                                 self.p_ano, rng)
         activity = lattice.per_cycle_activity(v, h, m)
 
         out = np.empty((shots, 4), dtype=np.float64)
         for s in range(shots):
-            over, n_over = _windowed_over(activity[s], c_win, v_th)
-            if not len(n_over):
-                out[s] = (0.0, 0.0, -1.0, np.nan)
-                continue
-            # Windowed index k corresponds to cycle t = k + c_win - 1.
-            pre = max(0, onset - (c_win - 1))
-            false_positive = bool(np.any(n_over[:pre] > self.n_th))
-            fired = np.flatnonzero(n_over[pre:] > self.n_th)
-            if len(fired):
-                cycle = int(fired[0]) + pre + c_win - 1
-                flag_r, flag_c = np.nonzero(over[cycle - (c_win - 1)])
-                region = regions[s]
-                centre_r = region.row_lo + (self.anomaly_size - 1) / 2.0
-                centre_c = region.col_lo + (self.anomaly_size - 1) / 2.0
-                err = math.hypot(int(np.median(flag_r)) - centre_r,
-                                 int(np.median(flag_c)) - centre_c)
-                out[s] = (false_positive, 1.0, cycle - onset, err)
-            else:
-                out[s] = (false_positive, 0.0, -1.0, np.nan)
+            out[s] = self._score_trial(activity[s], regions[s])
+        return out
+
+    def run_batch_packed(self, shots: int,
+                         rng: np.random.Generator) -> np.ndarray:
+        """Bit-packed :meth:`run_batch`: identical outputs per seed.
+
+        Sampling and the syndrome-difference stream stay packed (64
+        trials per uint64 word); only each trial's own activity lane is
+        read back, by the windowed-count scan.
+        """
+        self.prepare()
+        _, base_noise, lattice = self._state
+        total = self.normal_cycles + self.post_cycles
+
+        regions = [AnomalousRegion.random(self.distance, self.anomaly_size,
+                                          rng, t_lo=self.normal_cycles)
+                   for _ in range(shots)]
+        v, h, m = base_noise.sample_batch_packed(shots, total, rng)
+        for s, region in enumerate(regions):
+            _overwrite_anomalous_packed(v, h, m, s, region, self.distance,
+                                        self.p_ano, rng)
+        activity = lattice.per_cycle_activity_packed(v, h, m)
+
+        out = np.empty((shots, 4), dtype=np.float64)
+        for s in range(shots):
+            out[s] = self._score_trial(bitops.lane(activity, s), regions[s])
         return out
 
 
@@ -345,17 +566,29 @@ class DetectionTrialKernel:
 # Worker-pool plumbing
 # ----------------------------------------------------------------------
 _WORKER_KERNEL = None
+_WORKER_RUN = None
 
 
-def _pool_init(kernel) -> None:
-    global _WORKER_KERNEL
+def _batch_fn(kernel, packing: str):
+    """The kernel entry point for a packing mode (``"bits"`` falls back
+    to the float path when a kernel has no packed variant)."""
+    if packing == "bits" and hasattr(kernel, "run_batch_packed"):
+        return kernel.run_batch_packed
+    return kernel.run_batch
+
+
+def _pool_init(kernel, packing) -> None:
+    global _WORKER_KERNEL, _WORKER_RUN
     _WORKER_KERNEL = kernel
     _WORKER_KERNEL.prepare()  # decoder built once, reused per batch
+    _WORKER_RUN = _batch_fn(kernel, packing)
 
 
-def _pool_run(task) -> np.ndarray:
+def _pool_run(task) -> tuple[np.ndarray, int]:
     shots, seed = task
-    return _WORKER_KERNEL.run_batch(shots, np.random.default_rng(seed))
+    before = _cache_hits(_WORKER_KERNEL)
+    batch = _WORKER_RUN(shots, np.random.default_rng(seed))
+    return batch, _cache_hits(_WORKER_KERNEL) - before
 
 
 # ----------------------------------------------------------------------
@@ -368,6 +601,7 @@ class BatchRunResult:
     outcomes: np.ndarray  # (shots,) or (shots, k) per-shot outcomes
     estimate: Optional[BinomialEstimate]  # streamed success-column counts
     requested: int
+    cache_hits: int = 0  # matchings served from the kernel's cache
 
     @property
     def shots(self) -> int:
@@ -383,20 +617,29 @@ class BatchShotRunner:
 
     Args:
         kernel: object with ``run_batch(shots, rng) -> np.ndarray``,
-            ``prepare()``, ``success_column`` and ``default_batch_size``.
+            ``prepare()``, ``success_column`` and ``default_batch_size``
+            (optionally ``run_batch_packed`` for the bit-packed path).
         workers: 0 or 1 runs in-process; ``workers > 1`` fans batches out
             over a ``multiprocessing`` pool of that size.
         batch_size: shots per batch (``None`` = kernel default).  Part of
             the reproducibility contract: outcomes depend on
             ``(seed, batch_size)`` only.
         seed: campaign seed for the shared ``SeedSequence``.
+        packing: ``"bits"`` (default) runs the kernel's bit-packed
+            variant — 64 shots per uint64 word, word-wise syndrome XOR —
+            which is bit-identical to ``"none"`` (the certified float
+            reference) for the same ``(seed, batch_size)``.  Kernels
+            without a packed variant silently use the float path.
     """
 
     def __init__(self, kernel, workers: int = 0,
                  batch_size: Optional[int] = None,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 packing: str = "bits"):
         if workers < 0:
             raise ValueError("workers must be >= 0")
+        if packing not in PACKING_MODES:
+            raise ValueError(f"packing must be one of {PACKING_MODES}")
         self.kernel = kernel
         self.workers = workers
         self.batch_size = (batch_size if batch_size is not None
@@ -404,6 +647,7 @@ class BatchShotRunner:
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.seed = seed
+        self.packing = packing
         self.last_estimate: Optional[BinomialEstimate] = None
 
     # ------------------------------------------------------------------
@@ -429,7 +673,7 @@ class BatchShotRunner:
             raise ValueError("need at least one shot")
         tasks = self._batches(shots)
         collected: list[np.ndarray] = []
-        successes = trials = 0
+        successes = trials = cache_hits = 0
 
         def tight_enough() -> bool:
             if target_rel_width is None or trials < max(min_shots, 1):
@@ -451,16 +695,19 @@ class BatchShotRunner:
 
         if self.workers <= 1:
             self.kernel.prepare()
+            run = _batch_fn(self.kernel, self.packing)
+            hits_before = _cache_hits(self.kernel)
             for size, child in tasks:
-                batch = self.kernel.run_batch(
-                    size, np.random.default_rng(child))
+                batch = run(size, np.random.default_rng(child))
                 if ingest(batch):
                     break
+            cache_hits = _cache_hits(self.kernel) - hits_before
         else:
             with multiprocessing.Pool(
                     self.workers, initializer=_pool_init,
-                    initargs=(self.kernel,)) as pool:
-                for batch in pool.imap(_pool_run, tasks):
+                    initargs=(self.kernel, self.packing)) as pool:
+                for batch, hits in pool.imap(_pool_run, tasks):
+                    cache_hits += hits
                     if ingest(batch):
                         break  # context manager terminates the pool
 
@@ -469,4 +716,5 @@ class BatchShotRunner:
                               if trials else None)
         return BatchRunResult(outcomes=outcomes,
                               estimate=self.last_estimate,
-                              requested=shots)
+                              requested=shots,
+                              cache_hits=cache_hits)

@@ -91,13 +91,15 @@ def run_detection_trials(
     post_cycles: Optional[int] = None,
     seed: Optional[int] = None,
     workers: int = 0,
+    packing: str = "bits",
 ) -> DetectionPerformance:
     """Stream trials through the detection unit and aggregate outcomes.
 
     Each trial: ``normal_cycles`` of anomaly-free operation (any flag here
     is a false positive), then an MBBE appears at a random position and
     runs for ``post_cycles`` (no flag here is a miss).  ``workers >= 1``
-    runs the batched kernel (``> 1`` on a process pool); ``0`` keeps the
+    runs the batched kernel (``> 1`` on a process pool; bit-packed
+    sampling/extraction by default, see ``packing``); ``0`` keeps the
     sequential streaming path.
     """
     if workers:
@@ -106,7 +108,8 @@ def run_detection_trials(
             distance, p, p_ano, anomaly_size, c_win, n_th, alpha,
             normal_cycles if normal_cycles is not None else 2 * c_win,
             post_cycles if post_cycles is not None else 4 * c_win)
-        runner = BatchShotRunner(kernel, workers=workers, seed=seed)
+        runner = BatchShotRunner(kernel, workers=workers, seed=seed,
+                                 packing=packing)
         out = runner.run(trials).outcomes
         latencies_arr = out[out[:, 2] >= 0, 2]
         errors_arr = out[np.isfinite(out[:, 3]), 3]

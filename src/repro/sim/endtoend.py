@@ -187,14 +187,17 @@ class EndToEndExperiment:
             rng: Optional[np.random.Generator] = None,
             workers: int = 0,
             batch_size: Optional[int] = None,
-            seed: Optional[int] = None) -> EndToEndResult:
+            seed: Optional[int] = None,
+            packing: str = "bits") -> EndToEndResult:
         """Run the campaign and aggregate failure rates.
 
         ``workers = 0`` (default) keeps the sequential per-cycle path;
-        ``workers >= 1`` runs the batched shot engine with vectorized
-        sampling and detection scans (``workers > 1`` fans batches over
-        a process pool).  Batched campaigns are reproducible from
-        ``seed`` (drawn from ``rng`` when not given).
+        ``workers >= 1`` runs the batched shot engine — bit-packed
+        sampling and word-wise syndrome extraction by default
+        (``packing="bits"``, outcome-identical to the ``"none"`` float
+        reference per ``(seed, batch_size)``); ``workers > 1`` fans
+        batches over a process pool.  Batched campaigns are
+        reproducible from ``seed`` (drawn from ``rng`` when not given).
         """
         if shots < 1:
             raise ValueError("need at least one shot")
@@ -227,7 +230,8 @@ class EndToEndExperiment:
             self.distance, self.p, self.p_ano, self.anomaly_size,
             self.onset, self.cycles, self.c_win, self.n_th, self.alpha)
         runner = BatchShotRunner(kernel, workers=workers,
-                                 batch_size=batch_size, seed=seed)
+                                 batch_size=batch_size, seed=seed,
+                                 packing=packing)
         out = runner.run(shots).outcomes
         latencies_arr = out[out[:, 3] >= 0, 3]
         return EndToEndResult(

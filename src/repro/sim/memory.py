@@ -130,16 +130,19 @@ class MemoryExperiment:
             batch_size: Optional[int] = None,
             seed: Optional[int] = None,
             target_rel_width: Optional[float] = None,
+            packing: str = "bits",
             ) -> LogicalErrorEstimate:
         """Estimate the logical failure rate over ``samples`` shots.
 
         ``workers = 0`` (default) runs the original sequential per-shot
         path.  ``workers >= 1`` runs the batched shot engine
-        (:mod:`repro.sim.batch`): vectorized sampling and extraction,
-        the certified-equal fast matching core, and — for
-        ``workers > 1`` — a process pool with per-worker decoder reuse.
-        Batched campaigns are reproducible from ``seed`` (drawn from
-        ``rng`` when not given) and can stop early once the Wilson
+        (:mod:`repro.sim.batch`): bit-packed sampling and word-wise
+        syndrome extraction (``packing="bits"``, the default; bit-equal
+        to the ``packing="none"`` float reference per ``(seed,
+        batch_size)``), the certified-equal fast matching core, and —
+        for ``workers > 1`` — a process pool with per-worker decoder
+        reuse.  Batched campaigns are reproducible from ``seed`` (drawn
+        from ``rng`` when not given) and can stop early once the Wilson
         interval is narrower than ``target_rel_width`` times the mean.
         """
         if samples < 1:
@@ -156,7 +159,8 @@ class MemoryExperiment:
             self.distance, self.p, region=self.region, p_ano=self.p_ano,
             decoder=self.decoder, informed=self.informed, cycles=self.cycles)
         runner = BatchShotRunner(kernel, workers=workers,
-                                 batch_size=batch_size, seed=seed)
+                                 batch_size=batch_size, seed=seed,
+                                 packing=packing)
         result = runner.run(samples, target_rel_width=target_rel_width)
         return LogicalErrorEstimate(result.estimate.successes,
                                     result.estimate.trials, self.cycles)
@@ -174,6 +178,7 @@ def logical_error_rate(
     workers: int = 0,
     batch_size: Optional[int] = None,
     target_rel_width: Optional[float] = None,
+    packing: str = "bits",
 ) -> LogicalErrorEstimate:
     """Convenience one-call estimator (used by benches and examples)."""
     experiment = MemoryExperiment(
@@ -181,7 +186,8 @@ def logical_error_rate(
         decoder=decoder, informed=informed)
     return experiment.run(samples, np.random.default_rng(seed),
                           workers=workers, batch_size=batch_size,
-                          target_rel_width=target_rel_width)
+                          target_rel_width=target_rel_width,
+                          packing=packing)
 
 
 def fit_scaling_exponent(

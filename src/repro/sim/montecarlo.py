@@ -43,8 +43,25 @@ class BinomialEstimate:
 
     @property
     def std_error(self) -> float:
-        p = self.mean
-        return math.sqrt(max(p * (1.0 - p), 1.0 / self.trials) / self.trials)
+        """Standard error of the proportion, ``sqrt(p (1 - p) / n)``.
+
+        An older revision silently floored ``p (1 - p)`` at ``1 / n``.
+        Since ``p (1 - p) = (k / n)(1 - k / n) < 1 / n`` only for
+        ``k in {0, 1, n - 1, n}``, that floor was a no-op over the whole
+        interior — misleading anyone reading the formula — while at the
+        corners ``k in {0, n}`` it reported the arbitrary value ``1 / n``
+        with no statistical meaning.  Now the interior uses the standard
+        estimator untouched, and at the degenerate corners, where the
+        plug-in estimator collapses to zero, the half-width of the
+        Wilson score interval (:attr:`interval`) is returned instead,
+        so the uncertainty stays consistent with the interval this
+        class already reports.
+        """
+        if 0 < self.successes < self.trials:
+            p = self.mean
+            return math.sqrt(p * (1.0 - p) / self.trials)
+        lo, hi = wilson_interval(self.successes, self.trials)
+        return (hi - lo) / 2.0
 
     @property
     def interval(self) -> tuple[float, float]:

@@ -12,9 +12,12 @@ from repro.decoding import (
     greedy_decode_fast,
 )
 from repro.noise import AnomalousRegion, PhenomenologicalNoise
+from repro.sim import bitops
 from repro.sim.batch import (
     BatchShotRunner,
+    DetectionTrialKernel,
     EndToEndShotKernel,
+    MatchingCache,
     MemoryShotKernel,
 )
 from repro.sim.detection import run_detection_trials
@@ -145,12 +148,270 @@ class TestFastGreedyEquivalence:
         v = np.zeros((1, 8, 5, 5), dtype=bool)
         h = np.zeros((1, 8, 4, 4), dtype=bool)
         m = np.zeros((1, 8, 4, 5), dtype=bool)
-        _overwrite_anomalous(v, h, m, 0, region, 5, 0.0, 1.0,
+        _overwrite_anomalous(v, h, m, 0, region, 5, 1.0,
                              np.random.default_rng(0))
         assert v[0, 2:4].any() and m[0, 2:4].any()
         for arr in (v, h, m):
             assert not arr[0, :2].any()
             assert not arr[0, 4:].any()
+
+
+class TestBitops:
+    """Pack/unpack/popcount helpers for the uint64 backend."""
+
+    def test_word_count(self):
+        assert bitops.word_count(1) == 1
+        assert bitops.word_count(64) == 1
+        assert bitops.word_count(65) == 2
+        with pytest.raises(ValueError):
+            bitops.word_count(0)
+
+    @pytest.mark.parametrize("shots", [1, 37, 64, 130, 513])
+    def test_pack_round_trip(self, rng, shots):
+        bits = rng.random((shots, 3, 4, 5)) < 0.3
+        words = bitops.pack_shots(bits)
+        assert words.dtype == np.uint64
+        assert words.shape == (bitops.word_count(shots), 3, 4, 5)
+        assert np.array_equal(bitops.unpack_shots(words, shots), bits)
+
+    def test_lane_extracts_one_shot(self, rng):
+        bits = rng.random((130, 6, 2, 3)) < 0.4
+        words = bitops.pack_shots(bits)
+        for s in (0, 63, 64, 129):
+            assert np.array_equal(bitops.lane(words, s),
+                                  bits[s].astype(np.uint8))
+
+    def test_tail_lanes_zero_filled(self):
+        words = bitops.pack_shots(np.ones((70, 2), dtype=bool))
+        assert bitops.popcount(words).sum() == 70 * 2  # not 128 * 2
+
+    def test_popcount(self, rng):
+        bits = rng.random((256, 5, 7)) < 0.5
+        words = bitops.pack_shots(bits)
+        assert bitops.popcount(words).sum() == bits.sum()
+        assert np.array_equal(bitops.popcount(words).sum(axis=0),
+                              bits.sum(axis=0))
+
+
+class TestPackedSampling:
+    """sample_batch_packed consumes the identical uniform stream as the
+    float path: packed bits equal the float path's bits per seed."""
+
+    REGIONS = [
+        None,
+        AnomalousRegion(1, 1, 2, t_lo=1),              # open time window
+        AnomalousRegion(0, 0, 2, t_lo=2, t_hi=4),      # clipped window
+        AnomalousRegion(1, 0, 3, t_lo=0, t_hi=100),    # t_hi past the run
+        AnomalousRegion(0, 0, 2, t_lo=50),             # never active
+    ]
+
+    @pytest.mark.parametrize("shots", [1, 37, 64, 130])
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_bit_identical_to_float_path(self, shots, distance):
+        for region in self.REGIONS:
+            noise = PhenomenologicalNoise(distance, 0.05, 0.5, region)
+            ref = noise.sample_batch(shots, 6, np.random.default_rng(42))
+            packed = noise.sample_batch_packed(
+                shots, 6, np.random.default_rng(42))
+            for a, b in zip(ref, packed):
+                assert b.dtype == np.uint64
+                assert np.array_equal(bitops.unpack_shots(b, shots), a), \
+                    (shots, distance, region)
+
+    def test_spans_multiple_sample_chunks(self):
+        """Shots crossing the word-aligned scratch-block boundary still
+        reproduce the one-big-call uniform stream."""
+        noise = PhenomenologicalNoise(3, 0.1, 0.5,
+                                      AnomalousRegion(0, 0, 1, t_lo=1))
+        shots = 300  # chunk is 64: five blocks, the last one partial
+        ref = noise.sample_batch(shots, 4, np.random.default_rng(8))
+        packed = noise.sample_batch_packed(shots, 4,
+                                           np.random.default_rng(8))
+        for a, b in zip(ref, packed):
+            assert np.array_equal(bitops.unpack_shots(b, shots), a)
+
+    def test_rejects_zero_shots(self, rng):
+        with pytest.raises(ValueError):
+            PhenomenologicalNoise(5, 0.05).sample_batch_packed(0, 3, rng)
+
+
+class TestPackedExtraction:
+    """Word-wise syndrome extraction equals the uint8 reference."""
+
+    def _arrays(self, d, shots, cycles, seed, region=None):
+        noise = PhenomenologicalNoise(d, 0.05, 0.5, region)
+        v, h, m = noise.sample_batch(shots, cycles,
+                                     np.random.default_rng(seed))
+        vw, hw, mw = noise.sample_batch_packed(shots, cycles,
+                                               np.random.default_rng(seed))
+        return (v, h, m), (vw, hw, mw)
+
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_layers_and_activity(self, distance):
+        shots = 70
+        (v, h, m), (vw, hw, mw) = self._arrays(distance, shots, 5, 2)
+        lattice = SyndromeLattice(distance)
+        assert np.array_equal(
+            bitops.unpack_shots(lattice.measured_layers_packed(vw, hw, mw),
+                                shots).astype(np.uint8),
+            lattice.measured_layers(v, h, m))
+        assert np.array_equal(
+            bitops.unpack_shots(
+                lattice.per_cycle_activity_packed(vw, hw, mw),
+                shots).astype(np.uint8),
+            lattice.per_cycle_activity(v, h, m))
+
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_detection_events(self, distance):
+        shots = 130
+        (v, h, m), (vw, hw, mw) = self._arrays(
+            distance, shots, 6, 3, AnomalousRegion(0, 0, 2, t_lo=2))
+        lattice = SyndromeLattice(distance)
+        ref = lattice.detection_events_batch(v, h, m)
+        coords, vals, bounds = lattice.detection_events_packed(vw, hw, mw)
+        for s in range(shots):
+            assert np.array_equal(
+                lattice.shot_nodes(coords, vals, bounds, s), ref[s]), s
+
+    def test_cut_parities(self):
+        shots = 130
+        (v, _, _), (vw, _, _) = self._arrays(5, shots, 6, 4)
+        lattice = SyndromeLattice(5)
+        ref = lattice.error_cut_parity(v)
+        words = lattice.error_cut_parity_packed(vw)
+        prefix = lattice.north_cut_prefix_packed(vw)
+        for s in range(shots):
+            assert ((int(words[s // 64]) >> (s % 64)) & 1) == ref[s]
+            for stop in (1, 3, 6):
+                assert ((int(prefix[s // 64, stop - 1]) >> (s % 64)) & 1) \
+                    == lattice.error_cut_parity(v[s, :stop])
+
+
+class TestPackedKernelEquivalence:
+    """The packed backend is bit-identical to the float reference for
+    the same seed — the certification seam of the whole engine."""
+
+    REGIONS = [None,
+               AnomalousRegion(0, 0, 2, t_lo=1, t_hi=3),
+               AnomalousRegion(1, 1, 2, t_lo=2)]
+
+    @pytest.mark.parametrize("shots", [37, 130])
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_memory_kernel(self, shots, distance):
+        for region in self.REGIONS:
+            kernel = MemoryShotKernel(distance, 0.04, region=region)
+            kernel.prepare()
+            ref = kernel.run_batch(shots, np.random.default_rng(7))
+            packed = kernel.run_batch_packed(shots,
+                                             np.random.default_rng(7))
+            assert np.array_equal(ref, packed), (shots, distance, region)
+
+    def test_memory_kernel_mwpm(self):
+        kernel = MemoryShotKernel(5, 0.03, decoder="mwpm")
+        kernel.prepare()
+        ref = kernel.run_batch(70, np.random.default_rng(5))
+        packed = kernel.run_batch_packed(70, np.random.default_rng(5))
+        assert np.array_equal(ref, packed)
+
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_endtoend_kernel(self, distance):
+        kernel = EndToEndShotKernel(distance, 0.01, 0.5, anomaly_size=2,
+                                    onset=30, cycles=70, c_win=25,
+                                    n_th=3, alpha=0.01)
+        kernel.prepare()
+        ref = kernel.run_batch(37, np.random.default_rng(3))
+        packed = kernel.run_batch_packed(37, np.random.default_rng(3))
+        assert np.array_equal(ref, packed)
+
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_detection_kernel(self, distance):
+        kernel = DetectionTrialKernel(distance, 2e-3, 0.05, anomaly_size=2,
+                                      c_win=40, n_th=3, alpha=0.01,
+                                      normal_cycles=80, post_cycles=160)
+        kernel.prepare()
+        ref = kernel.run_batch(17, np.random.default_rng(5))
+        packed = kernel.run_batch_packed(17, np.random.default_rng(5))
+        assert np.array_equal(ref, packed, equal_nan=True)
+
+    def test_runner_packing_knob(self):
+        a = BatchShotRunner(MemoryShotKernel(5, 0.03), seed=11,
+                            packing="none").run(300)
+        b = BatchShotRunner(MemoryShotKernel(5, 0.03), seed=11,
+                            packing="bits").run(300)
+        assert np.array_equal(a.outcomes, b.outcomes)
+        with pytest.raises(ValueError):
+            BatchShotRunner(MemoryShotKernel(5, 0.03), packing="words")
+
+    def test_experiment_entry_points_accept_packing(self):
+        exp = MemoryExperiment(5, 0.02)
+        bits = exp.run(200, workers=1, seed=9, packing="bits")
+        none = exp.run(200, workers=1, seed=9, packing="none")
+        assert bits.failures == none.failures
+        perf_b = run_detection_trials(5, 2e-3, 0.05, anomaly_size=2,
+                                      c_win=40, n_th=3, trials=5, seed=2,
+                                      workers=1, packing="bits")
+        perf_n = run_detection_trials(5, 2e-3, 0.05, anomaly_size=2,
+                                      c_win=40, n_th=3, trials=5, seed=2,
+                                      workers=1, packing="none")
+        assert perf_b.false_positives == perf_n.false_positives
+        assert perf_b.detections == perf_n.detections
+        assert np.isclose(perf_b.mean_latency, perf_n.mean_latency,
+                          equal_nan=True)
+        assert np.isclose(perf_b.mean_position_error,
+                          perf_n.mean_position_error, equal_nan=True)
+
+    def test_pool_runs_packed(self):
+        solo = BatchShotRunner(MemoryShotKernel(5, 0.03), batch_size=50,
+                               seed=5, packing="bits").run(150)
+        pooled = BatchShotRunner(MemoryShotKernel(5, 0.03), workers=2,
+                                 batch_size=50, seed=5,
+                                 packing="bits").run(150)
+        assert np.array_equal(solo.outcomes, pooled.outcomes)
+
+
+class TestMatchingCache:
+    def test_cache_is_pure_memoization(self):
+        calls = []
+
+        def compute(nodes):
+            calls.append(nodes.copy())
+            return int(len(nodes)) & 1
+
+        cache = MatchingCache()
+        nodes = np.array([[0, 1, 2], [1, 1, 3]])
+        assert cache.parity(nodes, compute) == 0
+        assert cache.parity(nodes, compute) == 0
+        assert len(calls) == 1
+        assert cache.hits == 1
+
+    def test_large_sets_bypass(self):
+        cache = MatchingCache(max_nodes=2)
+        nodes = np.zeros((3, 3), dtype=np.intp)
+        cache.parity(nodes, lambda n: 1)
+        cache.parity(nodes, lambda n: 1)
+        assert cache.hits == 0 and len(cache) == 0
+
+    def test_table_clears_when_full(self):
+        cache = MatchingCache(max_entries=2)
+        for k in range(3):
+            cache.parity(np.array([[k, 0, 0]]), lambda n: 0)
+        assert len(cache) <= 2
+
+    def test_cached_and_uncached_runs_agree(self):
+        """Satellite: memoized matchings must not change outcomes, and
+        low-p campaigns must actually hit the cache."""
+        cached = BatchShotRunner(MemoryShotKernel(5, 0.005), seed=3).run(2000)
+        uncached = BatchShotRunner(
+            MemoryShotKernel(5, 0.005, cache_matchings=False),
+            seed=3).run(2000)
+        assert np.array_equal(cached.outcomes, uncached.outcomes)
+        assert cached.cache_hits > 0
+        assert uncached.cache_hits == 0
+
+    def test_cache_hits_reported_from_pool(self):
+        result = BatchShotRunner(MemoryShotKernel(5, 0.005), workers=2,
+                                 batch_size=500, seed=3).run(2000)
+        assert result.cache_hits > 0
 
 
 class TestBatchRunner:

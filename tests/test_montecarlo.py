@@ -51,6 +51,29 @@ class TestBinomialEstimate:
     def test_std_error_positive_even_at_zero(self):
         assert BinomialEstimate(0, 100).std_error > 0
 
+    def test_std_error_is_standard_estimator_interior(self):
+        """The interior is the plain sqrt(p(1-p)/n) estimator — with no
+        silent floor, including at k = 1 where the old
+        max(p(1-p), 1/n) floor still bit (p(1-p) < 1/n there)."""
+        import math
+        for successes, trials in ((1, 100), (9, 100), (50, 100),
+                                  (1, 10_000)):
+            p = successes / trials
+            expected = math.sqrt(p * (1.0 - p) / trials)
+            assert BinomialEstimate(successes, trials).std_error == \
+                pytest.approx(expected)
+
+    def test_std_error_degenerate_corners_match_wilson(self):
+        """Regression: at k in {0, n} the old floor reported the
+        arbitrary value 1/n; the documented rule is the Wilson
+        half-width, consistent with .interval."""
+        for successes, trials in ((0, 100), (100, 100), (0, 7)):
+            est = BinomialEstimate(successes, trials)
+            lo, hi = est.interval
+            assert est.std_error == pytest.approx((hi - lo) / 2)
+            assert est.std_error > 0
+            assert est.std_error != pytest.approx(1.0 / trials)
+
     def test_addition_pools_counts(self):
         total = BinomialEstimate(5, 100) + BinomialEstimate(7, 200)
         assert total.successes == 12

@@ -31,6 +31,38 @@ class TestSyndromeStatistics:
         with pytest.raises(ValueError):
             SyndromeStatistics.calibrate(np.array([]))
 
+    def test_calibrate_uses_unbiased_sigma(self):
+        """Regression: arr.std() (ddof=0) understated sigma — and thus
+        V_th — by sqrt(1 - 1/n) on short calibration streams."""
+        stream = np.array([0, 0, 0, 1])
+        stats = SyndromeStatistics.calibrate(stream)
+        assert stats.sigma == pytest.approx(float(np.std(stream, ddof=1)))
+        assert stats.sigma > float(np.std(stream))
+
+    def test_calibrate_matches_known_bernoulli_variance(self):
+        """Averaged over many short streams, calibrate's variance is
+        unbiased for the known Bernoulli variance mu(1-mu); the old
+        ddof=0 estimator sits a factor (n-1)/n below it."""
+        rng = np.random.default_rng(1)
+        mu, n = 0.5, 12
+        streams = (rng.random((20_000, n)) < mu).astype(int)
+        var_calibrated = np.mean(
+            [SyndromeStatistics.calibrate(s).sigma ** 2 for s in streams])
+        var_biased = np.mean(np.var(streams, axis=1))
+        true_var = mu * (1 - mu)
+        assert var_calibrated == pytest.approx(true_var, abs=0.01)
+        assert var_biased < true_var * (n - 0.5) / n  # clearly low
+
+    def test_calibrate_all_equal_stream_floors_sigma(self):
+        """An all-zero (or all-one, or single-sample) stream must not
+        yield sigma = 0: V_th would collapse onto the mean."""
+        for stream in ([0] * 50, [1] * 50, [0]):
+            stats = SyndromeStatistics.calibrate(np.array(stream))
+            assert stats.sigma > 0
+            n = len(stream)
+            q = 1.0 / (n + 2.0)
+            assert stats.sigma == pytest.approx(math.sqrt(q * (1 - q)))
+
     def test_invalid_mu_rejected(self):
         with pytest.raises(ValueError):
             SyndromeStatistics(1.5, 0.1)
@@ -94,6 +126,33 @@ class TestDetectionThreshold:
             detection_threshold(stats, 0)
         with pytest.raises(ValueError):
             detection_threshold(stats, 10, alpha=0.0)
+
+    def test_degenerate_sigma_rejected(self):
+        """Regression: sigma = 0 collapsed V_th onto the mean (V_th = 0
+        for mu = 0), so the first active observation flagged an MBBE."""
+        for stats in (SyndromeStatistics(0.0, 0.0),
+                      SyndromeStatistics(0.3, 0.0),
+                      SyndromeStatistics.from_activity_rate(0.0)):
+            with pytest.raises(ValueError, match="sigma"):
+                detection_threshold(stats, 100)
+
+    def test_calibrated_all_zero_stream_does_not_flag_first_activity(self):
+        """End to end: a unit calibrated on a quiet stream must tolerate
+        stray active observations instead of crying MBBE.  With the old
+        sigma = 0 calibration V_th was exactly 0, so the first cycle
+        with any activity (here two nodes, n_ano = 2 > n_th) flagged."""
+        from repro.core.anomaly import AnomalyDetectionUnit
+        stats = SyndromeStatistics.calibrate(np.zeros(500))
+        c_win = 200
+        v_th = detection_threshold(stats, c_win)
+        assert v_th > 1  # a single stray count stays under threshold
+        unit = AnomalyDetectionUnit((4, 5), stats, c_win=c_win, n_th=1)
+        quiet = np.zeros((4, 5))
+        stray = np.zeros((4, 5))
+        stray[2, 2] = stray[1, 3] = 1
+        for _ in range(c_win - 1):
+            assert unit.observe(quiet) is None
+        assert unit.observe(stray) is None  # window full; still no flag
 
     @settings(max_examples=30, deadline=None)
     @given(st.floats(1e-4, 0.3), st.integers(10, 2000))
