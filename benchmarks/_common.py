@@ -11,12 +11,24 @@ one command away:
 * ``REPRO_WORKERS``  -- shot-engine parallelism (default 1: batched
   in-process vectorized path; ``0`` forces the sequential per-shot
   loops; ``> 1`` fans batches over a process pool of that size).
+* ``REPRO_BACKEND``  -- array backend for the packed kernels (``numpy``
+  default; ``cupy`` is experimental and falls back with a warning).
+* ``REPRO_JSON``     -- machine-readable bench trajectory: ``1``
+  (default) lets benches merge their stage throughputs and speedup
+  ratios into ``BENCH_<name>.json`` via :func:`emit_json`; ``0``
+  disables.  ``--json`` on the command line forces it on.
+* ``REPRO_JSON_DIR`` -- where those JSON files land (default: this
+  ``benchmarks/`` directory).
+
+See ``benchmarks/README.md`` for the workflow and the JSON schema.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable
+import sys
+from typing import Iterable, Optional
 
 
 def mc_samples(default: int = 200) -> int:
@@ -33,6 +45,59 @@ def mc_workers(default: int = 1) -> int:
 def scale() -> float:
     """Global workload multiplier, from the environment."""
     return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def json_enabled() -> bool:
+    """Whether benches should write their machine-readable JSON."""
+    if "--json" in sys.argv:
+        return True
+    return os.environ.get("REPRO_JSON", "1").strip().lower() not in (
+        "0", "false", "no", "off", "")
+
+
+def emit_json(name: str, section: str, payload: dict) -> Optional[str]:
+    """Merge one bench section into ``BENCH_<name>.json``.
+
+    Each bench function contributes its stage throughputs / speedup
+    ratios under its own ``section`` key, so one file accumulates the
+    whole script's trajectory and stays diffable across PRs.  Returns
+    the path written, or ``None`` when disabled.
+    """
+    if not json_enabled():
+        return None
+    out_dir = os.environ.get("REPRO_JSON_DIR",
+                             os.path.dirname(os.path.abspath(__file__)))
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    doc: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            doc = {}
+    try:
+        from repro.sim import backend
+        backend_name = backend.name
+    except Exception:  # pragma: no cover - repro not importable
+        backend_name = "unknown"
+    doc["bench"] = name
+    doc.pop("env", None)  # pre-refactor file-global env block
+    # No timestamp on purpose: the file is committed as the cross-PR
+    # perf trajectory, and a stamp would dirty it on every no-op rerun.
+    # The env rides inside each section so a casual low-sample rerun of
+    # one bench can never mislabel the sections it did not touch.
+    sections = doc.setdefault("sections", {})
+    sections[section] = dict(payload)
+    sections[section]["env"] = {
+        "samples": mc_samples(),
+        "workers": mc_workers(),
+        "scale": scale(),
+        "backend": backend_name,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def print_table(title: str, header: Iterable[str],

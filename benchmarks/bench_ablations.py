@@ -95,3 +95,12 @@ def bench_ablation_detected_vs_oracle(benchmark):
          ["mean latency (cycles)", res.mean_latency]])
     assert res.detection_rate > 0.7
     assert rates["detected"] <= rates["naive"] + 0.05
+
+
+def smoke() -> None:
+    """One tiny grid point (bench_smoke marker: import-rot guard)."""
+    c_bat = optimal_batch_cycles(300)
+    assert total_buffer_bits(100, 300, c_bat) > 0
+    est = logical_error_rate(5, 2e-2, 8, decoder="greedy", seed=2,
+                             workers=1)
+    assert est.samples == 8

@@ -4,16 +4,22 @@ Times the Fig. 8 workload (the repo's heaviest Monte-Carlo hot path) at
 equal sample counts through the sequential engine, the float batch
 engine and the bit-packed batch engine, and prints the speedup table.
 The acceptance bars: the batch engine pays for itself >= 5x over the
-sequential path, and the bit-packed sampling + syndrome-extraction
-stage delivers >= 3x additional throughput over the float stage with
-per-shot sample storage cut ~50x (8 bytes per sampled bit materialized
-by the float64 draw vs one bit per bit plus a fixed 64-shot scratch
-block).
+sequential path; the bit-packed sampling + syndrome-extraction stage
+delivers >= 3x additional throughput over the float stage with per-shot
+sample storage cut ~50x (8 bytes per sampled bit materialized by the
+float64 draw vs one bit per bit plus a fixed 64-shot scratch block);
+and the cross-shot bucketed decode engine delivers >= 3x decode-stage
+throughput over the PR 2 per-shot decode loop on the same grid.
 
 The batched results are also cross-checked for determinism and for the
-packed backend's certification contract: same ``(seed, batch_size)``
-must give *bit-identical* failure counts through ``packing="bits"`` and
-``packing="none"`` — speed must not cost reproducibility.
+certification contracts: same ``(seed, batch_size)`` must give
+*bit-identical* failure counts through ``packing="bits"`` vs
+``packing="none"`` and through ``decode="batched"`` vs
+``decode="pershot"`` — speed must not cost reproducibility.
+
+Stage throughputs and speedup ratios accumulate in ``BENCH_batch.json``
+(see benchmarks/README.md for the schema) so the perf trajectory stays
+machine-readable across PRs.
 """
 
 import time
@@ -25,9 +31,11 @@ import pytest
 from repro.decoding.graph import SyndromeLattice
 from repro.noise import AnomalousRegion
 from repro.noise.models import PACKED_SAMPLE_CHUNK, PhenomenologicalNoise
+from repro.sim import bitops
+from repro.sim.batch import BatchShotRunner, MemoryShotKernel
 from repro.sim.memory import MemoryExperiment
 
-from _common import mc_samples, mc_workers, print_table, scale
+from _common import emit_json, mc_samples, mc_workers, print_table, scale
 
 DISTANCES = [9, 13]
 PHYSICAL_RATES = [8e-3, 1.5e-2, 2.5e-2]
@@ -92,6 +100,16 @@ def bench_batch_engine_speedup(benchmark):
         "packed backend broke the bit-identical certification contract"
     # The acceptance bar: the batch engine pays for itself >= 5x.
     speedup = seq_time / min(flt_time, bit_time)
+    emit_json("batch", "campaign", {
+        "samples_per_point": samples,
+        "workers": workers,
+        "wall_clock_s": {"sequential": seq_time, "batched_float": flt_time,
+                         "batched_bits": bit_time},
+        "speedup_vs_sequential": {
+            "batched_float": seq_time / flt_time,
+            "batched_bits": seq_time / bit_time},
+        "failures_bit_equal": True,
+    })
     assert speedup >= 5.0, f"batch speedup {speedup:.2f}x < 5x"
 
 
@@ -188,12 +206,139 @@ def bench_packed_sampling_stage(benchmark):
         rows)
 
     throughput = float_total / packed_total
+    emit_json("batch", "packed_sampling_stage", {
+        "shots_per_batch": shots,
+        "throughput_ratio": throughput,
+        "storage_ratio_min": min(storage_ratios),
+        "measured_peak_ratio_min": min(mem_ratios),
+    })
     assert throughput >= 3.0, \
         f"packed stage throughput {throughput:.2f}x < 3x"
     assert min(storage_ratios) >= 40.0, \
         f"sample storage reduction {min(storage_ratios):.0f}x < ~50x"
     assert min(mem_ratios) >= 10.0, \
         f"measured stage peak reduction {min(mem_ratios):.0f}x < 10x"
+
+
+def _decode_stage_data(d, p, region, informed, shots, seed):
+    """Sample + extract one packed chunk and build both kernels."""
+    kernels = {}
+    for mode in ("pershot", "batched"):
+        k = MemoryShotKernel(d, p, region=region, informed=informed,
+                             decode=mode)
+        k.prepare()
+        kernels[mode] = k
+    noise, lattice, _, _ = kernels["batched"]._state
+    v, h, m = noise.sample_batch_packed(shots, d,
+                                        np.random.default_rng(seed))
+    coords, vals, bounds = lattice.detection_events_packed(v, h, m)
+    parity_words = lattice.error_cut_parity_packed(v)
+    return kernels, lattice, coords, vals, bounds, parity_words
+
+
+def _decode_stage_pershot(kernel, lattice, coords, vals, bounds,
+                          parity_words, shots):
+    """The PR 2 decode loop: per-shot lane unpack + per-shot matching."""
+    out = np.empty(shots, dtype=np.int8)
+    for s in range(shots):
+        nodes = lattice.shot_nodes(coords, vals, bounds, s)
+        out[s] = bitops.lane_bit(parity_words, s) ^ kernel._cut_parity(nodes)
+    return out
+
+
+def _decode_stage_batched(kernel, lattice, coords, vals, parity_words,
+                          shots):
+    """The bucketed engine: bulk node gather + cross-shot decode."""
+    nodes, offsets = lattice.shot_nodes_bulk(coords, vals, shots)
+    nodes_list = [nodes[offsets[s]:offsets[s + 1]] for s in range(shots)]
+    err = bitops.unpack_shots(parity_words, shots).astype(np.int8)
+    return err ^ kernel._cut_parities(nodes_list)
+
+
+@pytest.mark.benchmark(group="batch")
+def bench_decode_stage_speedup(benchmark):
+    """Decode stage: bucketed batched engine vs the PR 2 per-shot loop.
+
+    Same packed chunk, same models, outputs asserted bit-equal; the
+    acceptance bar is >= 3x aggregate decode-stage throughput on the
+    Fig. 8 grid (NumPy backend).  Campaign failure counts are also
+    asserted bit-equal through ``decode="batched"`` vs ``"pershot"``
+    for the same ``(seed, batch_size)``.
+    """
+    shots = max(1024, int(1024 * scale()))
+    repeats = 5
+    rows = []
+    points = []
+    pershot_total = batched_total = 0.0
+
+    def run():
+        nonlocal pershot_total, batched_total
+        for idx, (label, d, p, region, informed) in enumerate(_points()):
+            (kernels, lattice, coords, vals, bounds,
+             parity_words) = _decode_stage_data(
+                d, p, region, informed, shots, seed=idx)
+            best = {}
+            for mode in ("pershot", "batched"):
+                kern = kernels[mode]
+                times = []
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    if mode == "pershot":
+                        out = _decode_stage_pershot(
+                            kern, lattice, coords, vals, bounds,
+                            parity_words, shots)
+                    else:
+                        out = _decode_stage_batched(
+                            kern, lattice, coords, vals, parity_words,
+                            shots)
+                    times.append(time.perf_counter() - start)
+                # min over repeats: the least-interference estimate on
+                # a noisy shared machine, applied to both engines alike
+                best[mode] = (min(times), out)
+            t_ps, out_ps = best["pershot"]
+            t_bt, out_bt = best["batched"]
+            assert np.array_equal(out_ps, out_bt), \
+                f"batched decode diverged from per-shot on {label}"
+            pershot_total += t_ps
+            batched_total += t_bt
+            points.append({"point": label, "pershot_s": t_ps,
+                           "batched_s": t_bt})
+            rows.append([label, f"{t_ps * 1e3:.0f}", f"{t_bt * 1e3:.0f}",
+                         f"{t_ps / t_bt:.1f}x"])
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    ratio = pershot_total / batched_total
+    print_table(
+        f"Decode stage: per-shot loop vs bucketed engine "
+        f"({shots} shots/chunk, best of {repeats})",
+        ["point", "per-shot (ms)", "batched (ms)", "speedup"],
+        rows + [["TOTAL", f"{pershot_total * 1e3:.0f}",
+                 f"{batched_total * 1e3:.0f}", f"{ratio:.1f}x"]])
+
+    # Campaign-level certification: same (seed, batch_size), same counts.
+    fails = {}
+    for mode in ("pershot", "batched"):
+        kernel = MemoryShotKernel(
+            13, PHYSICAL_RATES[-1],
+            region=AnomalousRegion.centered(13, ANOMALY_SIZE),
+            informed=True, decode=mode)
+        res = BatchShotRunner(kernel, batch_size=256, seed=71,
+                              packing="bits").run(1024)
+        fails[mode] = int(np.count_nonzero(res.outcomes))
+    assert fails["pershot"] == fails["batched"], \
+        "batched campaign diverged from the per-shot packed path"
+
+    emit_json("batch", "decode_stage", {
+        "shots_per_chunk": shots,
+        "repeats_min_of": repeats,
+        "pershot_total_s": pershot_total,
+        "batched_total_s": batched_total,
+        "throughput_ratio": ratio,
+        "campaign_failures_bit_equal": True,
+        "points": points,
+    })
+    assert ratio >= 3.0, f"decode-stage throughput {ratio:.2f}x < 3x"
 
 
 @pytest.mark.benchmark(group="batch")
@@ -208,3 +353,21 @@ def bench_batch_single_point_timing(benchmark):
         kwargs=dict(workers=max(1, mc_workers()), seed=5),
         rounds=1, iterations=1)
     assert est.samples == samples
+
+
+def smoke() -> None:
+    """One tiny grid point per engine path (bench_smoke marker)."""
+    exp = MemoryExperiment(5, 2.5e-2,
+                           region=AnomalousRegion.centered(5, 2),
+                           informed=True)
+    bits = exp.run(32, workers=1, seed=3, packing="bits")
+    none = exp.run(32, workers=1, seed=3, packing="none")
+    assert bits.failures == none.failures
+    kernels, lattice, coords, vals, bounds, parity_words = \
+        _decode_stage_data(5, 2.5e-2, AnomalousRegion.centered(5, 2),
+                           True, 40, seed=1)
+    ps = _decode_stage_pershot(kernels["pershot"], lattice, coords, vals,
+                               bounds, parity_words, 40)
+    bt = _decode_stage_batched(kernels["batched"], lattice, coords, vals,
+                               parity_words, 40)
+    assert np.array_equal(ps, bt)

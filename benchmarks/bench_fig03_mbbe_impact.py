@@ -65,3 +65,11 @@ def bench_fig3_logical_error_rates(benchmark):
     for d in DISTANCES:
         assert dirty[(d, p_low)] >= clean[(d, p_low)]
     assert clean[(DISTANCES[-1], p_low)] <= clean[(DISTANCES[0], p_low)]
+
+
+def smoke() -> None:
+    """One tiny grid point (bench_smoke marker: import-rot guard)."""
+    exp = MemoryExperiment(5, 2e-2,
+                           region=AnomalousRegion.centered(5, 2))
+    est = exp.run(8, workers=1, seed=0)
+    assert 0.0 <= est.per_cycle <= 1.0

@@ -69,3 +69,11 @@ def bench_fig7_single_operating_point(benchmark):
         DISTANCE, P, 0.05, ANOMALY_SIZE, 300, N_TH, 0.01, 3, seed=1,
         workers=mc_workers())
     assert result.miss_rate == 0.0
+
+
+def smoke() -> None:
+    """One tiny grid point (bench_smoke marker: import-rot guard)."""
+    perf = run_detection_trials(7, 2e-3, 0.05, anomaly_size=2, c_win=40,
+                                n_th=3, trials=2, seed=1, workers=1)
+    assert 0.0 <= perf.miss_rate <= 1.0
+    assert analytic_required_window(1e-3, 1e-2) > 0

@@ -120,3 +120,10 @@ def bench_fig8_distance_reduction(benchmark):
     # Bigger anomalies cost more distance.
     assert (reductions[ANOMALY_SIZES[1]][0]
             >= reductions[ANOMALY_SIZES[0]][0] - 1.0)
+
+
+def smoke() -> None:
+    """One tiny grid point (bench_smoke marker: import-rot guard)."""
+    region = AnomalousRegion.centered(5, 2)
+    rate = _rate(5, 2.5e-2, 8, region, informed=True, seed=3)
+    assert 0.0 <= rate <= 1.0

@@ -117,3 +117,10 @@ def bench_fig9_frequency_panel(benchmark):
         for q, b in zip(q3de[f], base[f]):
             if q is not None and b is not None:
                 assert q <= b * 1.01
+
+
+def smoke() -> None:
+    """One tiny grid point (bench_smoke marker: import-rot guard)."""
+    params = ScalingParameters(horizon_cycles=200_000)
+    curve = density_curve(params, [4.0], use_q3de=True)
+    assert len(curve) == 1

@@ -71,3 +71,14 @@ def bench_fig10_single_run_timing(benchmark):
                     rng=np.random.default_rng(3)),
         rounds=3, iterations=1)
     assert result.instructions == 300
+
+
+def smoke() -> None:
+    """One tiny grid point (bench_smoke marker: import-rot guard)."""
+    import numpy as np
+
+    result = simulate_throughput("q3de", num_instructions=20,
+                                 strike_prob_per_slot=1e-4,
+                                 strike_duration_slots=10,
+                                 rng=np.random.default_rng(3))
+    assert result.throughput > 0

@@ -54,3 +54,9 @@ def bench_table3_live_buffers_agree(benchmark):
     model = MemoryOverheadModel(31, 300)
     assert sq_bits == pytest.approx(model.syndrome_queue_bits(), rel=0.05)
     assert mq_bits == pytest.approx(model.matching_queue_bits(), rel=0.1)
+
+
+def smoke() -> None:
+    """One tiny grid point (bench_smoke marker: import-rot guard)."""
+    model = MemoryOverheadModel(distance=31, c_win=300)
+    assert model.overhead_ratio() > 1

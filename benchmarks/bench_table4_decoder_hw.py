@@ -78,3 +78,10 @@ def bench_table4_software_matching_throughput(benchmark):
         [["software (this host)", f"{rate:.0f}"],
          ["modelled FPGA @400 MHz", f"{est.matches_per_us * 1e6:.0f}"]])
     assert rate > 0
+
+
+def smoke() -> None:
+    """One tiny grid point (bench_smoke marker: import-rot guard)."""
+    row = DecoderHardwareModel(40, True).table_row()
+    assert row["LUT"] > 0
+    assert required_anq_entries(1e-4, 15) > 0

@@ -12,7 +12,10 @@ provides:
 * :mod:`repro.decoding.mwpm` -- exact MWPM via blossom matching
   (networkx stands in for Kolmogorov's Blossom V);
 * :mod:`repro.decoding.greedy` -- the QECOOL-style greedy radius-growing
-  decoder used by the paper's hardware evaluation.
+  decoder used by the paper's hardware evaluation;
+* :mod:`repro.decoding.batched` -- the cross-shot bucketed decode engine
+  (certified bit-identical to the per-shot greedy core) that the
+  batched shot engine's campaigns run on.
 """
 
 from repro.decoding.graph import SyndromeLattice
@@ -22,6 +25,8 @@ from repro.decoding.greedy import (FastGreedyDecoder, GreedyDecoder,
                                    greedy_cut_parity, greedy_decode_fast)
 from repro.decoding.decoder_base import DecodeResult, Match
 from repro.decoding.dijkstra import GridDijkstra
+from repro.decoding.batched import (ScratchArena, batched_cut_parities,
+                                    batched_decode)
 
 __all__ = [
     "SyndromeLattice",
@@ -31,6 +36,9 @@ __all__ = [
     "FastGreedyDecoder",
     "greedy_decode_fast",
     "greedy_cut_parity",
+    "batched_cut_parities",
+    "batched_decode",
+    "ScratchArena",
     "DecodeResult",
     "Match",
     "NORTH",

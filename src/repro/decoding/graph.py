@@ -31,6 +31,17 @@ import numpy as np
 #: close a package cycle through the experiment modules).
 _WORD_BITS = 64
 
+_BACKEND = None
+
+
+def _backend():
+    """The array-backend seam, imported lazily (same package cycle)."""
+    global _BACKEND
+    if _BACKEND is None:
+        from repro.sim import backend
+        _BACKEND = backend
+    return _BACKEND
+
 
 class SyndromeLattice:
     """Computes syndrome layers and active nodes from error arrays.
@@ -115,11 +126,13 @@ class SyndromeLattice:
         """Packed :meth:`true_syndromes`: XOR-scan instead of cumsum.
 
         The mod-2 cumulative sum along time becomes a single
-        ``bitwise_xor.accumulate`` over uint64 words, 64 shots per
-        element.
+        word-wise XOR scan over uint64 words, 64 shots per element
+        (:func:`repro.sim.backend.xor_accumulate`, so the same code
+        runs on the CuPy backend).
         """
-        cum_v = np.bitwise_xor.accumulate(v, axis=-3)
-        cum_h = np.bitwise_xor.accumulate(h, axis=-3)
+        bk = _backend()
+        cum_v = bk.xor_accumulate(v, axis=-3)
+        cum_h = bk.xor_accumulate(h, axis=-3)
         synd = cum_v[..., :-1, :] ^ cum_v[..., 1:, :]
         synd[..., :-1] ^= cum_h
         synd[..., 1:] ^= cum_h
@@ -128,10 +141,11 @@ class SyndromeLattice:
     def measured_layers_packed(self, v: np.ndarray, h: np.ndarray,
                                m: np.ndarray) -> np.ndarray:
         """Packed :meth:`measured_layers`; shape ``(words, T+1, d-1, d)``."""
+        xp = _backend().get_array_module(v)
         true = self.true_syndromes_packed(v, h)
         cycles = v.shape[-3]
         shape = v.shape[:-3] + (cycles + 1, self.node_rows, self.node_cols)
-        layers = np.empty(shape, dtype=np.uint64)
+        layers = xp.empty(shape, dtype=xp.uint64)
         layers[..., :cycles, :, :] = true ^ m
         layers[..., cycles, :, :] = true[..., cycles - 1, :, :]
         return layers
@@ -165,11 +179,16 @@ class SyndromeLattice:
         rows keep the unpacked ``argwhere`` order), ``vals`` the uint64
         word at each position, and ``bounds`` the per-word slice offsets
         into both.  This is the whole batch's syndrome in one sweep; no
-        per-shot arrays exist yet.
+        per-shot arrays exist yet.  Device inputs are reduced to these
+        (small) index arrays and brought to the host here — the decoder
+        consumes host coordinates.
         """
-        coords = np.argwhere(diff != 0)
+        bk = _backend()
+        xp = bk.get_array_module(diff)
+        coords = xp.argwhere(diff != 0)
         vals = diff[tuple(coords.T)] if len(coords) else \
-            np.zeros(0, dtype=np.uint64)
+            xp.zeros(0, dtype=xp.uint64)
+        coords, vals = bk.to_numpy(coords), bk.to_numpy(vals)
         bounds = np.searchsorted(coords[:, 0], np.arange(diff.shape[0] + 1))
         return coords, vals, bounds
 
@@ -191,6 +210,36 @@ class SyndromeLattice:
         return coords[lo:hi, 1:][sel]
 
     @staticmethod
+    def shot_nodes_bulk(coords: np.ndarray, vals: np.ndarray,
+                        shots: int) -> tuple[np.ndarray, np.ndarray]:
+        """Every shot's active nodes in one vectorized lane unpack.
+
+        Returns ``(nodes, offsets)``: ``nodes`` is the ``(N, 3)``
+        concatenation of all shots' ``(t, i, j)`` coordinates and
+        ``offsets`` the ``(shots + 1,)`` slice bounds, so that
+        ``nodes[offsets[s]:offsets[s + 1]]`` equals
+        :meth:`shot_nodes` for shot ``s`` bit for bit.  This replaces
+        ``shots`` per-shot lane extractions with one ``unpackbits`` +
+        one stable counting sort — the batched decode engine's entry
+        point.
+        """
+        offsets = np.zeros(shots + 1, dtype=np.int64)
+        if not len(coords):
+            return np.zeros((0, 3), dtype=coords.dtype), offsets
+        as_bytes = np.ascontiguousarray(
+            vals.astype("<u8", copy=False)[:, None]).view(np.uint8)
+        lanes = np.unpackbits(as_bytes, axis=-1, bitorder="little")
+        rows, lane_idx = np.nonzero(lanes)
+        shot_ids = (coords[rows, 0] * _WORD_BITS
+                    + lane_idx).astype(np.int32)
+        keep = shot_ids < shots  # zero-filled tail lanes never fire
+        rows, shot_ids = rows[keep], shot_ids[keep]
+        order = np.argsort(shot_ids, kind="stable")
+        nodes = coords[rows[order], 1:]
+        offsets = np.searchsorted(shot_ids[order], np.arange(shots + 1))
+        return nodes, offsets
+
+    @staticmethod
     def error_cut_parity_packed(v: np.ndarray) -> np.ndarray:
         """Packed :meth:`error_cut_parity`: one parity word per 64 shots.
 
@@ -199,7 +248,7 @@ class SyndromeLattice:
         reduction over the ``k = 0`` vertical edges.
         """
         north = v[:, :, 0, :]
-        return np.bitwise_xor.reduce(
+        return _backend().xor_reduce(
             north.reshape(north.shape[0], -1), axis=1)
 
     @staticmethod
@@ -211,8 +260,9 @@ class SyndromeLattice:
         which is what the end-to-end kernel scores shots against when a
         detection stops the run early.
         """
-        per_cycle = np.bitwise_xor.reduce(v[:, :, 0, :], axis=-1)
-        return np.bitwise_xor.accumulate(per_cycle, axis=1)
+        bk = _backend()
+        per_cycle = bk.xor_reduce(v[:, :, 0, :], axis=-1)
+        return bk.xor_accumulate(per_cycle, axis=1)
 
     # ------------------------------------------------------------------
     @staticmethod

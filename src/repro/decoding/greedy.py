@@ -21,6 +21,24 @@ import numpy as np
 from repro.decoding.decoder_base import DecodeResult, Match
 from repro.decoding.weights import NORTH, DistanceModel
 
+_UPPER_MASK = np.zeros((0, 0), dtype=bool)
+
+
+def _upper_mask(n: int) -> np.ndarray:
+    """Cached strict upper-triangle predicate ``i < j`` as an (n, n) view.
+
+    ANDing this into a keep matrix selects the same entries as
+    ``np.triu(keep, k=1)`` without materializing a second full matrix —
+    the index predicate is built once (grow-on-demand) and reused, so
+    the candidate build touches half the memory per decode.
+    """
+    global _UPPER_MASK
+    if _UPPER_MASK.shape[0] < n:
+        size = max(n, 2 * _UPPER_MASK.shape[0])
+        idx = np.arange(size)
+        _UPPER_MASK = idx[:, None] < idx[None, :]
+    return _UPPER_MASK[:n, :n]
+
 
 def _greedy_fast_core(model: DistanceModel, nodes: np.ndarray,
                       collect_matches: bool):
@@ -68,7 +86,7 @@ def _greedy_fast_core(model: DistanceModel, nodes: np.ndarray,
     keep = dist <= np.minimum(thr[:, None], thr[None, :])
     if zero_pairs:
         keep &= free[:, None] & free[None, :]
-    keep = np.triu(keep, k=1)
+    keep &= _upper_mask(n)
     iu, ju = np.nonzero(keep)
     bfree = np.flatnonzero(free)
 

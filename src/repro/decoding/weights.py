@@ -142,6 +142,78 @@ class DistanceModel:
             return self.pairwise(nodes)
         return dist.astype(np.float64)
 
+    # ------------------------------------------------------------------
+    # Batched primitives (stacked shots as (S, n, 3) tensors)
+    # ------------------------------------------------------------------
+    def _box_bounds_batch(self, t_max: np.ndarray):
+        """Per-shot box bounds for an ``(S,)`` vector of shot t-maxima.
+
+        Matches :meth:`_box_bounds` shot for shot: with an open time
+        window the box top is each shot's own ``t_max``.
+        Returns ``(lo, hi)`` with ``lo`` shape ``(3,)`` and ``hi``
+        shape ``(S, 1, 3)`` (broadcastable over an ``(S, n, 3)`` stack).
+        """
+        reg = self.region
+        lo = np.array([reg.t_lo, reg.row_lo, reg.col_lo], dtype=float)
+        hi = np.empty((len(t_max), 1, 3), dtype=float)
+        hi[:, 0, 0] = (reg.t_hi - 1 if reg.t_hi is not None
+                       else t_max.astype(float))
+        hi[:, 0, 1] = min(reg.row_hi - 1, self.distance - 2)
+        hi[:, 0, 2] = min(reg.col_hi - 1, self.distance - 1)
+        return lo, hi
+
+    def pairwise_batch(self, nodes: np.ndarray) -> np.ndarray:
+        """:meth:`pairwise` over a stacked ``(S, n, 3)`` batch of shots.
+
+        Returns the ``(S, n, n)`` distance tensor; row ``s`` equals
+        ``pairwise(nodes[s])`` exactly (the per-shot open-window box top
+        is each shot's own ``t_max``, reproduced here with a
+        per-shot clip bound).  This is the general float batch
+        primitive (any ``w_ano``); the decode engine's hot path is the
+        arena-fused integer specialization of the same math in
+        :mod:`repro.decoding.batched`, and both are certified against
+        the per-shot methods by the equivalence suite.
+        """
+        nodes = np.asarray(nodes, dtype=float)
+        direct = np.abs(nodes[:, :, None, :]
+                        - nodes[:, None, :, :]).sum(axis=3)
+        if self.region is None:
+            return direct
+        lo, hi = self._box_bounds_batch(
+            nodes[:, :, 0].max(axis=1, initial=0))
+        clamped = np.clip(nodes, lo, hi)
+        to_box = np.abs(nodes - clamped).sum(axis=2)
+        inside = np.abs(clamped[:, :, None, :]
+                        - clamped[:, None, :, :]).sum(axis=3)
+        via = (to_box[:, :, None] + to_box[:, None, :]
+               + self.w_ano * inside)
+        return np.minimum(direct, via)
+
+    def boundary_batch(self, nodes: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`boundary` over a stacked ``(S, n, 3)`` batch.
+
+        Returns ``(dist, side)`` of shape ``(S, n)`` each, equal shot
+        for shot to the per-shot method.
+        """
+        nodes = np.asarray(nodes, dtype=float)
+        north = nodes[:, :, 1] + 1.0
+        south = (self.distance - 1) - nodes[:, :, 1]
+        if self.region is not None:
+            lo, hi = self._box_bounds_batch(
+                nodes[:, :, 0].max(axis=1, initial=0))
+            clamped = np.clip(nodes, lo, hi)
+            to_box = np.abs(nodes - clamped).sum(axis=2)
+            north_via = (to_box + self.w_ano * (clamped[:, :, 1] - lo[1])
+                         + (lo[1] + 1.0))
+            south_via = (to_box
+                         + self.w_ano * (hi[:, :, 1] - clamped[:, :, 1])
+                         + (self.distance - 1 - hi[:, :, 1]))
+            north = np.minimum(north, north_via)
+            south = np.minimum(south, south_via)
+        side = np.where(north <= south, NORTH, SOUTH)
+        return np.minimum(north, south), side
+
     def boundary(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Distance to the nearest boundary and which one.
 

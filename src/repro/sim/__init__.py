@@ -1,5 +1,6 @@
 """Monte-Carlo experiment drivers for the paper's evaluations."""
 
+from repro.sim import backend
 from repro.sim.montecarlo import BinomialEstimate, wilson_interval
 from repro.sim.memory import MemoryExperiment, LogicalErrorEstimate
 from repro.sim.detection import (
@@ -12,6 +13,7 @@ from repro.sim.endtoend import EndToEndExperiment, EndToEndResult
 from repro.sim.batch import (
     BatchRunResult,
     BatchShotRunner,
+    DECODE_MODES,
     DetectionTrialKernel,
     EndToEndShotKernel,
     MatchingCache,
@@ -21,9 +23,11 @@ from repro.sim.batch import (
 from repro.sim import bitops
 
 __all__ = [
+    "backend",
     "BatchRunResult",
     "BatchShotRunner",
     "MatchingCache",
+    "DECODE_MODES",
     "PACKING_MODES",
     "bitops",
     "DetectionTrialKernel",

@@ -1,0 +1,153 @@
+"""Pluggable array backend: NumPy by default, CuPy when requested.
+
+The packed shot engine is word-wise uint64 arithmetic (XOR scans,
+popcounts, argwhere) plus the bucketed distance tensors of the batched
+decoder — exactly the operations a GPU runs well.  This module is the
+seam: every kernel that creates or transforms those arrays asks it for
+the array module instead of hard-coding ``numpy``.
+
+Selection is by the ``REPRO_BACKEND`` environment variable, read once at
+import:
+
+* unset / ``numpy`` — NumPy.  This is the certified reference path; the
+  seam resolves to the ``numpy`` module itself so there is no
+  indirection cost on any hot path.
+* ``cupy`` — CuPy, if it imports *and* can touch a device; otherwise a
+  warning is emitted and the backend falls back to NumPy.  The CuPy
+  path is experimental: it shares every line of kernel code through
+  this seam but is only exercised where a GPU is present.
+* anything else — a warning and NumPy.
+
+Helpers:
+
+* :func:`get_array_module` — NumPy/CuPy dispatch on the arrays actually
+  passed (the ``cupy.get_array_module`` idiom).  When CuPy was never
+  loaded this is a single attribute check.
+* :func:`to_numpy` / :func:`asarray` — host/device boundary crossings;
+  identity under NumPy.
+* :func:`xor_accumulate` / :func:`xor_reduce` — the two uint64 scan
+  primitives of the packed kernels.  NumPy has them as ufunc methods;
+  the generic path is a log-depth doubling scan in plain slicing ops so
+  any array library with basic indexing can run it.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy
+
+#: Environment variable holding the backend choice.
+ENV_VAR = "REPRO_BACKEND"
+
+#: Recognized backend names.
+BACKENDS = ("numpy", "cupy")
+
+#: The active array module (``numpy`` or ``cupy``).
+xp = numpy
+
+#: The active backend name.
+name = "numpy"
+
+_cupy = None  # the cupy module, when (and only when) it is usable
+
+
+def _try_cupy():
+    """Import CuPy and prove a device op works; None when unusable."""
+    try:
+        import cupy
+        cupy.zeros(1).sum()  # fails cleanly when no device is present
+        return cupy
+    except Exception as exc:  # ImportError or any CUDA runtime error
+        warnings.warn(
+            f"{ENV_VAR}=cupy requested but CuPy is unusable ({exc!r}); "
+            "falling back to the NumPy backend",
+            RuntimeWarning, stacklevel=3)
+        return None
+
+
+def select_backend(requested: str | None = None) -> str:
+    """(Re)resolve the backend; returns the name actually active.
+
+    Called once at import with the environment value; tests may call it
+    again to exercise the resolution logic.  Unknown names and an
+    unusable CuPy degrade to NumPy with a warning, never an error.
+    """
+    global xp, name, _cupy
+    if requested is None:
+        requested = os.environ.get(ENV_VAR, "numpy")
+    requested = (requested or "numpy").strip().lower() or "numpy"
+    if requested not in BACKENDS:
+        warnings.warn(
+            f"unknown {ENV_VAR}={requested!r}; using the NumPy backend "
+            f"(choices: {BACKENDS})", RuntimeWarning, stacklevel=2)
+        requested = "numpy"
+    if requested == "cupy":
+        _cupy = _try_cupy()
+        if _cupy is not None:
+            xp, name = _cupy, "cupy"
+            return name
+    xp, name = numpy, "numpy"
+    return name
+
+
+def get_array_module(*arrays):
+    """The array module (numpy or cupy) owning ``arrays``.
+
+    With the NumPy backend this never inspects the arrays — the answer
+    is always ``numpy`` — so the seam costs one global read per call.
+    """
+    if _cupy is None:
+        return numpy
+    for a in arrays:
+        if isinstance(a, _cupy.ndarray):
+            return _cupy
+    return numpy
+
+
+def to_numpy(a):
+    """Move an array to the host (identity for NumPy arrays)."""
+    if _cupy is not None and isinstance(a, _cupy.ndarray):
+        return _cupy.asnumpy(a)
+    return a
+
+
+def asarray(a, dtype=None):
+    """Put an array on the active backend's device."""
+    return xp.asarray(a, dtype=dtype)
+
+
+def xor_accumulate(a, axis: int):
+    """Cumulative XOR along ``axis`` (the packed time scan).
+
+    NumPy: the ``bitwise_xor.accumulate`` ufunc method.  Other
+    backends: an in-place Hillis–Steele doubling scan — ``log2(n)``
+    slice XORs, bit-identical to the sequential scan.
+    """
+    m = get_array_module(a)
+    if m is numpy:
+        return numpy.bitwise_xor.accumulate(a, axis=axis)
+    out = m.ascontiguousarray(a).copy()
+    view = m.moveaxis(out, axis, 0)
+    n = view.shape[0]
+    shift = 1
+    while shift < n:
+        view[shift:] ^= view[:-shift].copy()
+        shift *= 2
+    return out
+
+
+def xor_reduce(a, axis: int):
+    """XOR reduction along ``axis`` (the packed parity fold)."""
+    m = get_array_module(a)
+    if m is numpy:
+        return numpy.bitwise_xor.reduce(a, axis=axis)
+    view = m.moveaxis(a, axis, 0)
+    out = view[0].copy()
+    for k in range(1, view.shape[0]):
+        out ^= view[k]
+    return out
+
+
+select_backend()

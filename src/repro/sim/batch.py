@@ -7,9 +7,16 @@ module is the production hot path:
 * **Vectorized shot kernels** — noise sampling, syndrome extraction and
   cut parities are computed for a whole batch of shots in a handful of
   NumPy calls (:meth:`PhenomenologicalNoise.sample_batch`,
-  :meth:`SyndromeLattice.detection_events_batch`); only the matching
-  itself runs per shot, through the pruned fast-greedy core that is
-  certified exactly equal to the sequential decoder.
+  :meth:`SyndromeLattice.detection_events_batch`).
+
+* **Cross-shot batched decode** — the greedy matchings of a chunk run
+  through :mod:`repro.decoding.batched`: shots bucketed by active-node
+  count, bucket-wide distance tensors, one flattened candidate sort and
+  a vectorized acceptance, certified bit-identical to the per-shot
+  pruned fast-greedy core (which ``decode="pershot"`` keeps as the
+  in-tree reference; MWPM always decodes per shot).  Scratch buffers
+  live in a per-worker :class:`repro.decoding.batched.ScratchArena`
+  reused across chunks.
 
 * **Bit-packed backend** — ``packing="bits"`` (the default) samples
   Bernoulli bits straight into uint64 words (64 shots per word, see
@@ -51,6 +58,7 @@ import numpy as np
 
 from repro.core.statistics import (SyndromeStatistics, detection_threshold,
                                    expected_activity_rate)
+from repro.decoding.batched import ScratchArena, batched_cut_parities
 from repro.decoding.graph import SyndromeLattice
 from repro.decoding.greedy import greedy_cut_parity
 from repro.decoding.mwpm import MWPMDecoder
@@ -64,49 +72,80 @@ from repro.sim.montecarlo import BinomialEstimate, wilson_interval
 #: Recognized values of the shot-engine ``packing`` knob.
 PACKING_MODES = ("bits", "none")
 
+#: Recognized values of the shot-engine ``decode`` knob.
+DECODE_MODES = ("batched", "pershot")
+
 
 # ----------------------------------------------------------------------
 # Shared kernel pieces
 # ----------------------------------------------------------------------
 class MatchingCache:
-    """Memoized cut parities for repeated small active-node sets.
+    """LRU-bounded memoized cut parities for repeated small node sets.
 
     At low physical error rates most shots light up the same handful of
     syndrome patterns over and over; rather than re-running the matching,
     the kernels key its north-cut parity on the frozen coordinate bytes.
     Only sets of at most ``max_nodes`` nodes are cached (large sets are
-    effectively unique, and skipping them bounds key size); the table is
-    dropped wholesale if it ever reaches ``max_entries``.
+    effectively unique, and skipping them bounds key size).  The table
+    holds at most ``max_entries`` parities and evicts least-recently
+    used (long campaigns previously grew it without bound); ``hits``,
+    ``misses`` and ``evictions`` stream into
+    :attr:`BatchRunResult.cache_hits` / ``cache_misses`` /
+    ``cache_evictions``, including across pool workers.
     """
 
     def __init__(self, max_nodes: int = 16, max_entries: int = 1 << 16):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
         self.max_nodes = max_nodes
         self.max_entries = max_entries
         self.hits = 0
+        self.misses = 0
+        self.evictions = 0
         self._table: dict[bytes, int] = {}
 
     def __len__(self) -> int:
         return len(self._table)
+
+    def get(self, key: bytes) -> Optional[int]:
+        """Cached parity for a key, counting and LRU-refreshing."""
+        found = self._table.pop(key, None)
+        if found is None:
+            self.misses += 1
+            return None
+        self._table[key] = found  # reinsert: most-recently used
+        self.hits += 1
+        return found
+
+    def put(self, key: bytes, value: int) -> None:
+        """Store a parity, evicting the least-recently-used entry."""
+        if key in self._table:
+            self._table[key] = value
+            return
+        if len(self._table) >= self.max_entries:
+            self._table.pop(next(iter(self._table)))
+            self.evictions += 1
+        self._table[key] = value
 
     def parity(self, nodes: np.ndarray, compute) -> int:
         """``compute(nodes)`` through the cache (pure memoization)."""
         if len(nodes) > self.max_nodes:
             return compute(nodes)
         key = nodes.tobytes()
-        found = self._table.get(key)
+        found = self.get(key)
         if found is not None:
-            self.hits += 1
             return found
-        if len(self._table) >= self.max_entries:
-            self._table.clear()
         value = compute(nodes)
-        self._table[key] = value
+        self.put(key, value)
         return value
 
+    def stats(self) -> tuple[int, int, int]:
+        return self.hits, self.misses, self.evictions
 
-def _cache_hits(kernel) -> int:
+
+def _cache_stats(kernel) -> tuple[int, int, int]:
     cache = getattr(kernel, "cache", None)
-    return cache.hits if cache is not None else 0
+    return cache.stats() if cache is not None else (0, 0, 0)
 
 
 def _overwrite_anomalous(v: np.ndarray, h: np.ndarray, m: np.ndarray,
@@ -200,7 +239,9 @@ class MemoryShotKernel:
                  region: Optional[AnomalousRegion] = None,
                  p_ano: float = 0.5, decoder: str = "greedy",
                  informed: bool = False, cycles: Optional[int] = None,
-                 cache_matchings: bool = True):
+                 cache_matchings: bool = True, decode: str = "batched"):
+        if decode not in DECODE_MODES:
+            raise ValueError(f"decode must be one of {DECODE_MODES}")
         self.distance = distance
         self.p = p
         self.region = region
@@ -209,8 +250,10 @@ class MemoryShotKernel:
         self.informed = informed
         self.cycles = cycles if cycles is not None else distance
         self.cache_matchings = cache_matchings
+        self.decode = decode
         self.cache: Optional[MatchingCache] = None
         self._state = None
+        self._arena: Optional[ScratchArena] = None
 
     def prepare(self) -> None:
         """Build noise/lattice/decoder once (per process, per worker)."""
@@ -226,12 +269,14 @@ class MemoryShotKernel:
             model = DistanceModel(self.distance)
         mwpm = MWPMDecoder(model) if self.decoder == "mwpm" else None
         self.cache = MatchingCache() if self.cache_matchings else None
+        self._arena = ScratchArena()
         self._state = (noise, lattice, model, mwpm)
 
     def __getstate__(self):
         state = self.__dict__.copy()
         state["_state"] = None  # rebuilt lazily inside each worker
         state["cache"] = None
+        state["_arena"] = None
         return state
 
     def _cut_parity(self, nodes: np.ndarray) -> int:
@@ -249,36 +294,52 @@ class MemoryShotKernel:
             return compute(nodes)
         return self.cache.parity(nodes, compute)
 
+    def _cut_parities(self, nodes_list: list) -> np.ndarray:
+        """Matching parities for a whole chunk of shots.
+
+        The greedy decoder runs through the bucketed batched engine
+        (``decode="pershot"`` keeps the PR 2 per-shot loop as the
+        certified reference); MWPM always decodes shot by shot.
+        """
+        _, _, model, mwpm = self._state
+        if mwpm is None and self.decode == "batched":
+            return batched_cut_parities(model, nodes_list,
+                                        cache=self.cache,
+                                        arena=self._arena)
+        out = np.empty(len(nodes_list), dtype=np.int8)
+        for s, nodes in enumerate(nodes_list):
+            out[s] = self._cut_parity(nodes)
+        return out
+
     def run_batch(self, shots: int, rng: np.random.Generator) -> np.ndarray:
         self.prepare()
         noise, lattice, _, _ = self._state
         v, h, m = noise.sample_batch(shots, self.cycles, rng)
         nodes_per_shot = lattice.detection_events_batch(v, h, m)
-        error_parity = lattice.error_cut_parity(v)
-        out = np.empty(shots, dtype=np.int8)
-        for s, nodes in enumerate(nodes_per_shot):
-            out[s] = error_parity[s] ^ self._cut_parity(nodes)
-        return out
+        error_parity = lattice.error_cut_parity(v).astype(np.int8)
+        return error_parity ^ self._cut_parities(nodes_per_shot)
 
     def run_batch_packed(self, shots: int,
                          rng: np.random.Generator) -> np.ndarray:
         """Bit-packed :meth:`run_batch`: identical outputs per seed.
 
         Sampling, syndrome differences and the boundary parity all stay
-        word-wise over uint64 (64 shots per word); only each shot's
-        active-node coordinates are materialized, for the matching.
+        word-wise over uint64 (64 shots per word); active-node
+        coordinates for the whole chunk come out of one bulk lane
+        unpack, and the matchings run through the bucketed batched
+        decode engine.
         """
         self.prepare()
         noise, lattice, _, _ = self._state
         v, h, m = noise.sample_batch_packed(shots, self.cycles, rng)
-        coords, vals, bounds = lattice.detection_events_packed(v, h, m)
+        coords, vals, _ = lattice.detection_events_packed(v, h, m)
         parity_words = lattice.error_cut_parity_packed(v)
-        out = np.empty(shots, dtype=np.int8)
-        for s in range(shots):
-            nodes = lattice.shot_nodes(coords, vals, bounds, s)
-            parity = bitops.lane_bit(parity_words, s)
-            out[s] = parity ^ self._cut_parity(nodes)
-        return out
+        nodes, offsets = lattice.shot_nodes_bulk(coords, vals, shots)
+        nodes_list = [nodes[offsets[s]:offsets[s + 1]]
+                      for s in range(shots)]
+        error_parity = bitops.unpack_shots(
+            parity_words, shots).astype(np.int8)
+        return error_parity ^ self._cut_parities(nodes_list)
 
 
 class EndToEndShotKernel:
@@ -297,7 +358,10 @@ class EndToEndShotKernel:
 
     def __init__(self, distance: int, p: float, p_ano: float,
                  anomaly_size: int, onset: int, cycles: int,
-                 c_win: int, n_th: int, alpha: float):
+                 c_win: int, n_th: int, alpha: float,
+                 decode: str = "batched"):
+        if decode not in DECODE_MODES:
+            raise ValueError(f"decode must be one of {DECODE_MODES}")
         self.distance = distance
         self.p = p
         self.p_ano = p_ano
@@ -307,7 +371,9 @@ class EndToEndShotKernel:
         self.c_win = c_win
         self.n_th = n_th
         self.alpha = alpha
+        self.decode = decode
         self._state = None
+        self._arena: Optional[ScratchArena] = None
 
     def prepare(self) -> None:
         if self._state is not None:
@@ -319,12 +385,29 @@ class EndToEndShotKernel:
         base_noise = PhenomenologicalNoise(self.distance, self.p, self.p_ano)
         naive_model = DistanceModel(self.distance)
         w_ano = relative_anomalous_weight(self.p, self.p_ano)
+        self._arena = ScratchArena()
         self._state = (lattice, v_th, base_noise, naive_model, w_ano)
 
     def __getstate__(self):
         state = self.__dict__.copy()
         state["_state"] = None
+        state["_arena"] = None
         return state
+
+    def _naive_parities(self, nodes_list: list) -> np.ndarray:
+        """Naive-model matchings for the chunk, bucketed when enabled.
+
+        The naive decode shares one :class:`DistanceModel` across every
+        shot, so it batches; the oracle/detected decodes depend on each
+        shot's own (true or estimated) region and stay per shot.
+        """
+        _, _, _, naive_model, _ = self._state
+        if self.decode == "batched":
+            return batched_cut_parities(naive_model, nodes_list,
+                                        arena=self._arena)
+        return np.fromiter(
+            (greedy_cut_parity(naive_model, nodes) for nodes in nodes_list),
+            dtype=np.int8, count=len(nodes_list))
 
     def _detect(self, activity: np.ndarray):
         """Windowed-count scan of one shot's activity stream.
@@ -351,12 +434,17 @@ class EndToEndShotKernel:
                 event_cycle - self.onset)
 
     def _score(self, nodes: np.ndarray, error_parity: int,
-               true_region: AnomalousRegion,
+               naive_parity: int, true_region: AnomalousRegion,
                estimated: Optional[AnomalousRegion]):
-        """(naive, detected, oracle) failures for one decoded shot."""
-        _, _, _, naive_model, w_ano = self._state
+        """(naive, detected, oracle) failures for one decoded shot.
+
+        The naive matching is precomputed for the whole chunk (one
+        shared model — it batches); the oracle/detected matchings use
+        this shot's own regions.
+        """
+        _, _, _, _, w_ano = self._state
         d = self.distance
-        naive = error_parity ^ greedy_cut_parity(naive_model, nodes)
+        naive = error_parity ^ naive_parity
         oracle = error_parity ^ greedy_cut_parity(
             DistanceModel(d, true_region, w_ano), nodes)
         if estimated is None:
@@ -380,14 +468,23 @@ class EndToEndShotKernel:
             _overwrite_anomalous(v, h, m, s, region, d, self.p_ano, rng)
         activity = lattice.per_cycle_activity(v, h, m)
 
-        out = np.empty((shots, 4), dtype=np.int64)
+        detections = []
+        nodes_list = []
+        parities = np.empty(shots, dtype=np.int64)
         for s in range(shots):
             stop, estimated, latency = self._detect(activity[s])
             vs = v[s, :stop]
-            nodes = lattice.detection_events(vs, h[s, :stop], m[s, :stop])
-            naive, detected, oracle = self._score(
-                nodes, lattice.error_cut_parity(vs), regions[s], estimated)
-            out[s] = (naive, detected, oracle, latency)
+            nodes_list.append(lattice.detection_events(
+                vs, h[s, :stop], m[s, :stop]))
+            parities[s] = lattice.error_cut_parity(vs)
+            detections.append((estimated, latency))
+        naive = self._naive_parities(nodes_list)
+
+        out = np.empty((shots, 4), dtype=np.int64)
+        for s, (estimated, latency) in enumerate(detections):
+            out[s, :3] = self._score(nodes_list[s], int(parities[s]),
+                                     int(naive[s]), regions[s], estimated)
+            out[s, 3] = latency
         return out
 
     def run_batch_packed(self, shots: int,
@@ -417,15 +514,22 @@ class EndToEndShotKernel:
         coords, vals, bounds = lattice.packed_active_nodes(activity)
         north_prefix = lattice.north_cut_prefix_packed(v)
 
-        out = np.empty((shots, 4), dtype=np.int64)
+        detections = []
+        nodes_list = []
+        parities = np.empty(shots, dtype=np.int64)
         for s in range(shots):
             stop, estimated, latency = self._detect(bitops.lane(activity, s))
-            nodes = self._shot_nodes_truncated(
-                lattice, coords, vals, bounds, m, s, stop)
-            parity = bitops.lane_bit(north_prefix[:, stop - 1], s)
-            naive, detected, oracle = self._score(
-                nodes, parity, regions[s], estimated)
-            out[s] = (naive, detected, oracle, latency)
+            nodes_list.append(self._shot_nodes_truncated(
+                lattice, coords, vals, bounds, m, s, stop))
+            parities[s] = bitops.lane_bit(north_prefix[:, stop - 1], s)
+            detections.append((estimated, latency))
+        naive = self._naive_parities(nodes_list)
+
+        out = np.empty((shots, 4), dtype=np.int64)
+        for s, (estimated, latency) in enumerate(detections):
+            out[s, :3] = self._score(nodes_list[s], int(parities[s]),
+                                     int(naive[s]), regions[s], estimated)
+            out[s, 3] = latency
         return out
 
     @staticmethod
@@ -584,11 +688,12 @@ def _pool_init(kernel, packing) -> None:
     _WORKER_RUN = _batch_fn(kernel, packing)
 
 
-def _pool_run(task) -> tuple[np.ndarray, int]:
+def _pool_run(task) -> tuple[np.ndarray, tuple[int, int, int]]:
     shots, seed = task
-    before = _cache_hits(_WORKER_KERNEL)
+    before = _cache_stats(_WORKER_KERNEL)
     batch = _WORKER_RUN(shots, np.random.default_rng(seed))
-    return batch, _cache_hits(_WORKER_KERNEL) - before
+    after = _cache_stats(_WORKER_KERNEL)
+    return batch, tuple(a - b for a, b in zip(after, before))
 
 
 # ----------------------------------------------------------------------
@@ -602,6 +707,8 @@ class BatchRunResult:
     estimate: Optional[BinomialEstimate]  # streamed success-column counts
     requested: int
     cache_hits: int = 0  # matchings served from the kernel's cache
+    cache_misses: int = 0  # cacheable lookups that had to compute
+    cache_evictions: int = 0  # LRU entries dropped at capacity
 
     @property
     def shots(self) -> int:
@@ -673,7 +780,8 @@ class BatchShotRunner:
             raise ValueError("need at least one shot")
         tasks = self._batches(shots)
         collected: list[np.ndarray] = []
-        successes = trials = cache_hits = 0
+        successes = trials = 0
+        cache_stats = np.zeros(3, dtype=np.int64)
 
         def tight_enough() -> bool:
             if target_rel_width is None or trials < max(min_shots, 1):
@@ -696,18 +804,18 @@ class BatchShotRunner:
         if self.workers <= 1:
             self.kernel.prepare()
             run = _batch_fn(self.kernel, self.packing)
-            hits_before = _cache_hits(self.kernel)
+            before = _cache_stats(self.kernel)
             for size, child in tasks:
                 batch = run(size, np.random.default_rng(child))
                 if ingest(batch):
                     break
-            cache_hits = _cache_hits(self.kernel) - hits_before
+            cache_stats += np.subtract(_cache_stats(self.kernel), before)
         else:
             with multiprocessing.Pool(
                     self.workers, initializer=_pool_init,
                     initargs=(self.kernel, self.packing)) as pool:
-                for batch, hits in pool.imap(_pool_run, tasks):
-                    cache_hits += hits
+                for batch, stats in pool.imap(_pool_run, tasks):
+                    cache_stats += stats
                     if ingest(batch):
                         break  # context manager terminates the pool
 
@@ -717,4 +825,6 @@ class BatchShotRunner:
         return BatchRunResult(outcomes=outcomes,
                               estimate=self.last_estimate,
                               requested=shots,
-                              cache_hits=cache_hits)
+                              cache_hits=int(cache_stats[0]),
+                              cache_misses=int(cache_stats[1]),
+                              cache_evictions=int(cache_stats[2]))

@@ -391,11 +391,15 @@ class TestMatchingCache:
         cache.parity(nodes, lambda n: 1)
         assert cache.hits == 0 and len(cache) == 0
 
-    def test_table_clears_when_full(self):
+    def test_table_bounded_by_lru_eviction(self):
         cache = MatchingCache(max_entries=2)
-        for k in range(3):
+        for k in range(5):
             cache.parity(np.array([[k, 0, 0]]), lambda n: 0)
-        assert len(cache) <= 2
+        assert len(cache) == 2
+        assert cache.evictions == 3
+        # The most recently used entries survive.
+        assert cache.get(np.array([[4, 0, 0]]).tobytes()) == 0
+        assert cache.get(np.array([[0, 0, 0]]).tobytes()) is None
 
     def test_cached_and_uncached_runs_agree(self):
         """Satellite: memoized matchings must not change outcomes, and

@@ -1,0 +1,41 @@
+"""Benchmark smoke layer: every bench script must import and run.
+
+``pytest -m bench_smoke`` imports every ``benchmarks/bench_*.py`` and
+runs its ``smoke()`` — one tiny grid point per script — so benchmark
+scripts cannot silently rot as the library underneath them moves.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+BENCH_SCRIPTS = sorted(p.name for p in BENCH_DIR.glob("bench_*.py"))
+
+
+def _load(name: str):
+    if str(BENCH_DIR) not in sys.path:  # bench modules import _common
+        sys.path.insert(0, str(BENCH_DIR))
+    spec = importlib.util.spec_from_file_location(
+        name.removesuffix(".py"), BENCH_DIR / name)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.bench_smoke
+def test_bench_scripts_exist():
+    assert BENCH_SCRIPTS, "no benchmark scripts found"
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.parametrize("script", BENCH_SCRIPTS)
+def test_bench_script_smokes(script, monkeypatch):
+    """Import the script and run its one-point smoke entry."""
+    monkeypatch.setenv("REPRO_JSON", "0")  # no artifacts from smokes
+    module = _load(script)
+    assert hasattr(module, "smoke"), \
+        f"{script} has no smoke() entry point for the bench_smoke layer"
+    module.smoke()
