@@ -9,6 +9,8 @@ Expected shape: required window and latency fall steeply as the ratio
 grows; the position estimate stays within a couple of nodes.
 """
 
+import time
+
 import pytest
 
 from repro.sim.detection import (
@@ -17,7 +19,7 @@ from repro.sim.detection import (
     run_detection_trials,
 )
 
-from _common import mc_workers, print_table, scale
+from _common import emit_json, mc_workers, print_table, scale
 
 DISTANCE = 21
 P = 1e-3
@@ -32,6 +34,7 @@ def bench_fig7_detection_unit(benchmark):
     trials = max(4, int(8 * scale()))
 
     def run():
+        start = time.perf_counter()
         rows = []
         for ratio in RATIOS:
             p_ano = P * ratio
@@ -40,10 +43,22 @@ def bench_fig7_detection_unit(benchmark):
                 trials=trials, seed=ratio, workers=mc_workers())
             rows.append((ratio, c_win, perf.mean_latency,
                          perf.mean_position_error))
-        return rows
+        return rows, time.perf_counter() - start
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows, wall = benchmark.pedantic(run, rounds=1, iterations=1)
 
+    emit_json("batch", "fig07_detection", {
+        "trials_per_point": trials,
+        "wall_clock_s": wall,
+        # Domain series keyed by the p_ano/p sweep label; deliberately
+        # not "*ratio*"-named so the comparator reads them as drift-only
+        # domain data, not engine bars.
+        "required_window": {f"pano_over_p_{r}": w for r, w, _, _ in rows},
+        "mean_latency_cycles": {f"pano_over_p_{r}": lat
+                                for r, _, lat, _ in rows},
+        "mean_position_error_nodes": {f"pano_over_p_{r}": err
+                                      for r, _, _, err in rows},
+    })
     print_table(
         "Fig. 7: anomaly detection (p=1e-3, d=21, d_ano=4, n_th=20)",
         ["p_ano/p", "required c_win", "latency (cycles)",

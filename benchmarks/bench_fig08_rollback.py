@@ -11,6 +11,8 @@ Expected shape: rollback curves sit between MBBE-free and naive, and the
 Eq. (4) reduction is roughly twice as large without rollback.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -18,7 +20,7 @@ from repro.analysis.firstorder import effective_distance_reduction
 from repro.noise import AnomalousRegion
 from repro.sim.memory import MemoryExperiment
 
-from _common import mc_samples, mc_workers, print_table
+from _common import emit_json, mc_samples, mc_workers, print_table
 
 DISTANCES = [9, 13]
 PHYSICAL_RATES = [8e-3, 1.5e-2, 2.5e-2]
@@ -37,6 +39,7 @@ def bench_fig8_rollback_improvement(benchmark):
     samples = mc_samples()
 
     def run():
+        start = time.perf_counter()
         table = {}
         for d_ano in ANOMALY_SIZES:
             for d in DISTANCES:
@@ -48,10 +51,18 @@ def bench_fig8_rollback_improvement(benchmark):
                         _rate(d, p, samples, region, False, base_seed + 1),
                         _rate(d, p, samples, region, True, base_seed + 2),
                     )
-        return table
+        return table, time.perf_counter() - start
 
-    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    table, wall = benchmark.pedantic(run, rounds=1, iterations=1)
 
+    emit_json("batch", "fig08_rollback", {
+        "samples_per_point": samples,
+        "wall_clock_s": wall,
+        "per_cycle_rates": {
+            f"dano{d_ano}_d{d}_p{p}_{kind}": rate
+            for (d_ano, d, p), rates in table.items()
+            for kind, rate in zip(("free", "naive", "rollback"), rates)},
+    })
     for d_ano in ANOMALY_SIZES:
         rows = []
         for d in DISTANCES:

@@ -10,11 +10,13 @@ realistic ray frequencies (~1e-5) and degrades only as the frequency
 approaches 1e-2, with longer bursts hurting more.
 """
 
+import time
+
 import pytest
 
 from repro.arch.throughput import simulate_throughput, throughput_sweep
 
-from _common import mc_workers, print_table, scale
+from _common import emit_json, mc_workers, print_table, scale
 
 FREQUENCIES = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2]
 
@@ -26,16 +28,27 @@ def bench_fig10_throughput_sweep(benchmark):
     workers = mc_workers()
 
     def run():
+        start = time.perf_counter()
         short = throughput_sweep(FREQUENCIES, duration_slots=100,
                                  num_instructions=n_inst, seed=7,
                                  workers=workers)
         long = throughput_sweep(FREQUENCIES, duration_slots=1000,
                                 num_instructions=n_inst, seed=7,
                                 workers=workers)
-        return short, long
+        return short, long, time.perf_counter() - start
 
-    short, long = benchmark.pedantic(run, rounds=1, iterations=1)
+    short, long, wall = benchmark.pedantic(run, rounds=1, iterations=1)
 
+    emit_json("batch", "fig10_throughput", {
+        "instructions": n_inst,
+        "wall_clock_s": wall,
+        "instructions_per_d_cycles": {
+            "mbbe_free": short["mbbe_free"][0],
+            "baseline": short["baseline"][0],
+            "q3de_realistic_freq": short["q3de"][1],
+            "q3de_heavy_freq": short["q3de"][-1],
+            "q3de_long_bursts_heavy": long["q3de"][-1]},
+    })
     rows = []
     for i, freq in enumerate(FREQUENCIES):
         rows.append([freq, short["mbbe_free"][i], short["baseline"][i],

@@ -9,7 +9,7 @@ controller can detect when a rollback would have to rewind the host CPU
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

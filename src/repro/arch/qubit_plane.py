@@ -13,7 +13,7 @@ expanded logical qubit (Q3DE's 2x2-block expansion).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 

@@ -57,7 +57,12 @@ import numpy as np
 from repro.decoding.decoder_base import DecodeResult, Match
 from repro.decoding.greedy import (_greedy_fast_core, _upper_mask,
                                    greedy_decode_fast)
-from repro.decoding.weights import NORTH, SOUTH, DistanceModel
+from repro.decoding.weights import (NORTH, SOUTH, DistanceModel,
+                                    region_signature)
+
+#: Per-bucket element budget of the float fallback tier's ``(S, n, n)``
+#: tensors (``pairwise_batch`` materializes a 3-component diff on top).
+_FLOAT_BUCKET_BUDGET = 1 << 18
 
 #: Coordinate bound of the integer fast path (shared with
 #: :meth:`DistanceModel.pairwise_int`).
@@ -108,24 +113,15 @@ class ScratchArena:
 # ----------------------------------------------------------------------
 # Eligibility
 # ----------------------------------------------------------------------
-def _chunk_eligible(model: DistanceModel, allc: np.ndarray) -> bool:
-    """Whether the integer bucketed engine covers this model + node set.
+def _coords_eligible(distance: int, allc: np.ndarray) -> bool:
+    """Whether a chunk's concatenated coordinates fit the integer engine.
 
-    Mirrors (and slightly extends) the :meth:`pairwise_int` envelope:
-    integer nodes, nonnegative coordinates bounded by ``INT_LIMIT``,
+    Integer nodes, nonnegative coordinates bounded by ``INT_LIMIT``,
     rows on the lattice (``i <= d - 2``, which keeps every boundary
     distance >= 1 — the invariant the zero-clique and level logic lean
-    on), a moderate code distance, a region (only with zero weight)
-    whose row origin sits on the lattice.  Anything outside decodes
-    through the per-shot reference core instead.
+    on), and a moderate code distance.
     """
-    reg = model.region
-    if reg is not None:
-        if model.w_ano != 0.0:
-            return False
-        if reg.row_lo > model.distance or reg.t_lo > INT_LIMIT:
-            return False
-    if model.distance > INT_LIMIT:
+    if distance > INT_LIMIT:
         return False
     if not np.issubdtype(allc.dtype, np.integer):
         return False
@@ -133,17 +129,76 @@ def _chunk_eligible(model: DistanceModel, allc: np.ndarray) -> bool:
         return True
     if int(allc.min()) < 0 or int(allc.max()) > INT_LIMIT:
         return False
-    if int(allc[:, 1].max()) > model.distance - 2:
+    if int(allc[:, 1].max()) > distance - 2:
         return False
     return True
+
+
+def _region_ok(distance: int, region) -> bool:
+    """Whether one region's geometry fits the integer engine."""
+    return region.row_lo <= distance and region.t_lo <= INT_LIMIT
+
+
+def _chunk_eligible(model: DistanceModel, allc: np.ndarray) -> bool:
+    """Whether the integer bucketed engine covers this model + node set.
+
+    Mirrors (and slightly extends) the :meth:`pairwise_int` envelope:
+    :func:`_coords_eligible` coordinates plus a region (only with zero
+    weight) whose row origin sits on the lattice.  Anything outside
+    decodes through the per-shot reference core (or, for weighted
+    regions, the float bucketed tier) instead.
+    """
+    reg = model.region
+    if reg is not None:
+        if model.w_ano != 0.0:
+            return False
+        if not _region_ok(model.distance, reg):
+            return False
+    return _coords_eligible(model.distance, allc)
 
 
 # ----------------------------------------------------------------------
 # The bucketed engine
 # ----------------------------------------------------------------------
+def _region_bounds(reg, d: int, cmax: int) -> tuple:
+    """One region's integer clip bounds, folded into the data range.
+
+    ``min(max(t, lo), hi)`` never exceeds ``max(cmax, lo)``, so capping
+    ``hi`` there is inert, and a lower bound above the capped upper
+    bound clips to it — both reductions are value-exact and keep the
+    bounds (and every to-box distance) inside the engine dtype even for
+    explicit far-future ``t_hi`` boxes.  Returns ``(lo1, hi1, rlo, hi2,
+    clo, tlo, thi, open_window)``; with an open window the box top is
+    each *shot's* own t_max (matters when t_lo exceeds it — the box
+    collapses onto the shot's last layer), applied per bucket.
+    """
+    lo1 = reg.row_lo
+    hi1 = min(reg.row_hi - 1, d - 2)
+    hi2 = min(reg.col_hi - 1, d - 1)
+    if reg.t_hi is not None:
+        thi = min(reg.t_hi - 1, max(cmax, reg.t_lo))
+        tlo = min(reg.t_lo, thi)
+        open_window = False
+    else:
+        thi = 0  # unused: the shot's own t_max is the box top
+        tlo = min(reg.t_lo, cmax + 1)
+        open_window = True
+    return (lo1, hi1, min(lo1, hi1), hi2, min(reg.col_lo, hi2), tlo, thi,
+            open_window)
+
+
 def _decode_engine(model: DistanceModel, nodes_list: list, arena: ScratchArena,
-                   collect: bool, allc: np.ndarray):
+                   collect: bool, allc: np.ndarray, regions=None):
     """Bucketed decode of pre-screened (eligible, nonempty) shots.
+
+    ``regions`` optionally carries one region (or ``None``) per shot —
+    the region-aware path of the end-to-end kernels, where every shot's
+    strike landed somewhere else.  When omitted, every shot shares
+    ``model.region`` exactly as before.  Shots are bucketed by
+    (has-region, active-node count) and all region geometry — box
+    clips, via folds, boundary detours, zero cliques — is evaluated
+    from per-shot bound vectors broadcast over the bucket tensors, so
+    mixed-region chunks batch as well as shared-region ones.
 
     Returns ``(parities, accepted)`` where ``parities`` is the ``(S,)``
     int8 north-cut parities and ``accepted`` (collect mode only) the
@@ -160,39 +215,100 @@ def _decode_engine(model: DistanceModel, nodes_list: list, arena: ScratchArena,
         return parities, pre_pairs
 
     d = model.distance
-    reg = model.region
     cmax = int(allc.max(initial=0))  # allc: callers' eligibility concat
 
-    mag = max(cmax, d, reg.row_lo if reg is not None else 0)
-    if reg is not None:
-        # Clip bounds are folded into the data range: ``min(max(t, lo),
-        # hi)`` never exceeds ``max(cmax, lo)``, so capping ``hi`` there
-        # is inert, and a lower bound above the capped upper bound clips
-        # to it — both reductions are value-exact and keep the bounds
-        # (and every to-box distance) inside the chosen dtype even for
-        # explicit far-future ``t_hi`` boxes.
-        lo1 = reg.row_lo
-        hi1 = min(reg.row_hi - 1, d - 2)
-        hi2 = min(reg.col_hi - 1, d - 1)
-        if reg.t_hi is not None:
-            t_hi_cap = min(reg.t_hi - 1, max(cmax, reg.t_lo))
-            t_lo_clip = min(reg.t_lo, t_hi_cap)
-            mag = max(mag, t_hi_cap)
-        else:
-            # Open window: the box top is each *shot's* own t_max
-            # (matters when t_lo exceeds it — the box collapses onto
-            # the shot's last layer), applied per shot below.
-            t_hi_cap = None
-            t_lo_clip = min(reg.t_lo, cmax + 1)
-        row_lo_clip = min(lo1, hi1)
-        col_lo_clip = min(reg.col_lo, hi2)
+    # Per-shot region bounds (int64 staging; cast to the engine dtype
+    # per bucket).  The shared-region path broadcasts one bounds tuple;
+    # the Python attribute walk only runs when regions truly differ.
+    has = np.zeros(S_all, dtype=bool)
+    bounds = np.zeros((7, S_all), dtype=np.int64)
+    lo1, hi1, rlo, hi2, clo, tlo, thi = bounds
+    open_w = np.zeros(S_all, dtype=bool)
+    if regions is None:
+        if model.region is not None:
+            has[:] = True
+            *vals, opn = _region_bounds(model.region, d, cmax)
+            bounds[:] = np.array(vals)[:, None]
+            open_w[:] = opn
+    else:
+        for s, reg in enumerate(regions):
+            if reg is None:
+                continue
+            has[s] = True
+            *vals, opn = _region_bounds(reg, d, cmax)
+            bounds[:, s] = vals
+            open_w[s] = opn
+
+    # Per-shot t_max over the *full* node set (open-window box tops must
+    # not move when zero-clique compaction drops in-box nodes below).
+    tmax_shot = None
+    offs = None
+    if has.any():
+        offs = np.empty(S_all + 1, dtype=np.int64)
+        offs[0] = 0
+        np.cumsum(ns, out=offs[1:])
+        if open_w.any():
+            tmax_shot = np.maximum.reduceat(
+                allc[:, 0].astype(np.int64), offs[:-1])
+            tmax_shot[ns == 0] = 0  # reduceat reads across empty shots
+
+    if not collect and has.any():
+        # Zero-clique compaction: with w_ano = 0 the in-box nodes pair
+        # off at distance zero — weight 0, node-node, no boundary — so
+        # the north-cut parity never sees them.  Parity mode drops the
+        # paired nodes *before* the dense builds (each bucket tensor
+        # shrinks quadratically in the survivors) instead of
+        # prematching them inside it; collect mode keeps the in-tensor
+        # prematch, which preserves the reference acceptance lists.
+        shot_of = np.repeat(np.arange(S_all), ns)
+        t_f = allc[:, 0].astype(np.int64)
+        i_f = allc[:, 1].astype(np.int64)
+        j_f = allc[:, 2].astype(np.int64)
+        thi_f = (np.where(open_w, tmax_shot, thi)
+                 if tmax_shot is not None else thi)[shot_of]
+        to_box = (np.abs(t_f - np.minimum(np.maximum(t_f, tlo[shot_of]),
+                                          thi_f))
+                  + np.abs(i_f - np.minimum(np.maximum(i_f, rlo[shot_of]),
+                                            hi1[shot_of]))
+                  + np.abs(j_f - np.minimum(np.maximum(j_f, clo[shot_of]),
+                                            hi2[shot_of])))
+        inbox = (to_box == 0) & has[shot_of]
+        if inbox.any():
+            cnt_in = np.add.reduceat(inbox.astype(np.int64), offs[:-1])
+            cnt_in[ns == 0] = 0
+            keep = ~inbox
+            odd = np.flatnonzero(cnt_in & 1)
+            if len(odd):
+                # An odd shot's last in-box node stays free, exactly as
+                # the in-tensor prematch leaves it.
+                idx = np.where(inbox, np.arange(len(inbox)), -1)
+                last = np.maximum.reduceat(idx, offs[:-1])
+                keep[last[odd]] = True
+            new_ns = ns - cnt_in + (cnt_in & 1)
+            changed = np.flatnonzero(new_ns != ns)
+            if len(changed):
+                nodes_list = list(nodes_list)
+                for s in changed.tolist():
+                    nodes_list[s] = np.asarray(
+                        nodes_list[s])[keep[offs[s]:offs[s + 1]]]
+                ns = new_ns
+                nmax = int(ns.max(initial=0))
+                if nmax == 0:
+                    return parities, pre_pairs
+
+    mag = max(cmax, d)
+    if has.any():
+        mag = max(mag, int(lo1.max()), int(tlo.max()), int(thi.max()))
 
     # Every value the engine materializes — direct distances, via sums,
     # boundary vias — is bounded by 6 * mag + a small constant; pick
     # the narrowest integer dtype that holds them.
     dd = np.int8 if 6 * mag + 8 <= 126 else np.int16
 
-    order = np.argsort(ns, kind="stable")
+    # has-region shots sort after region-free ones, so every bucket is
+    # homogeneous in "carries a box" and the region math never touches
+    # a direct-distance shot.
+    order = np.lexsort((ns, has))
     matched = arena.take("matched", S_all * nmax, bool)
     matched[:] = False
 
@@ -215,8 +331,10 @@ def _decode_engine(model: DistanceModel, nodes_list: list, arena: ScratchArena,
     k = 0
     while k < S_all:
         n = int(ns[order[k]])
+        boxed = bool(has[order[k]])
         k2 = k
-        while k2 < S_all and ns[order[k2]] == n:
+        while (k2 < S_all and ns[order[k2]] == n
+               and has[order[k2]] == boxed):
             k2 += 1
         if n == 0:
             k = k2
@@ -254,19 +372,36 @@ def _decode_engine(model: DistanceModel, nodes_list: list, arena: ScratchArena,
             pre = None
             north = i + dd(1)
             south = dd(d - 1) - i
-            if reg is not None:
-                if t_hi_cap is not None:
-                    ct = np.clip(t, t_lo_clip, t_hi_cap)
+            if boxed:
+                # Per-shot bound columns, broadcast over the bucket.
+                # ``min(max(x, lo), hi)`` is exactly np.clip's order, so
+                # a lower bound above its capped upper bound clips to
+                # the cap — shot for shot, as in the scalar-region path.
+                tlo_b = tlo[ids].astype(dd)[:, None]
+                rlo_b = rlo[ids].astype(dd)[:, None]
+                rhi_b = hi1[ids].astype(dd)[:, None]
+                clo_b = clo[ids].astype(dd)[:, None]
+                chi_b = hi2[ids].astype(dd)[:, None]
+                lo1_b = lo1[ids].astype(dd)[:, None]
+                opn = open_w[ids]
+                if opn.all():
+                    thi_b = tmax_shot[ids].astype(dd)[:, None]
+                elif opn.any():
+                    thi_b = np.where(opn[:, None],
+                                     tmax_shot[ids].astype(dd)[:, None],
+                                     thi[ids].astype(dd)[:, None])
                 else:
-                    ct = np.minimum(np.maximum(t, dd(t_lo_clip)),
-                                    t.max(axis=1, keepdims=True))
+                    thi_b = thi[ids].astype(dd)[:, None]
+                ct = np.minimum(np.maximum(t, tlo_b), thi_b)
                 to_box = (np.abs(t - ct)
-                          + np.abs(i - np.clip(i, row_lo_clip, hi1))
-                          + np.abs(j - np.clip(j, col_lo_clip, hi2)))
+                          + np.abs(i - np.minimum(np.maximum(i, rlo_b),
+                                                  rhi_b))
+                          + np.abs(j - np.minimum(np.maximum(j, clo_b),
+                                                  chi_b)))
                 np.add(to_box[:, :, None], to_box[:, None, :], out=tmp)
                 np.minimum(dist, tmp, out=dist)
-                np.minimum(north, to_box + dd(lo1 + 1), out=north)
-                np.minimum(south, to_box + dd(d - 1 - hi1), out=south)
+                np.minimum(north, to_box + (lo1_b + dd(1)), out=north)
+                np.minimum(south, to_box + (dd(d - 1) - rhi_b), out=south)
                 # Zero-clique prematch: with w_ano = 0 the distance-zero
                 # cliques are exactly the in-box nodes; pair them off in
                 # index order (the per-shot core's clique pairing) and
@@ -601,6 +736,11 @@ def batched_cut_parities(model: DistanceModel, nodes_list: list,
     if (_chunk_eligible(model, allc)
             and len(sub_nodes) * max(map(len, sub_nodes)) < 2**31):
         parities, _ = _decode_engine(model, sub_nodes, arena, False, allc)
+    elif model.region is not None and model.w_ano != 0.0:
+        # Weighted region: the per-shot core always takes the float
+        # pairwise/boundary path here, so batching those builds through
+        # the (bit-equal) batch primitives changes nothing but speed.
+        parities = _float_bucket_parities(model, sub_nodes)
     else:
         parities = np.fromiter(
             ((_greedy_fast_core(model, nodes, False)[1] & 1)
@@ -611,6 +751,117 @@ def batched_cut_parities(model: DistanceModel, nodes_list: list,
             out[s] = p
         if key is not None:
             cache.put(key, p)
+    return out
+
+
+def _float_bucket_parities(model: DistanceModel,
+                           nodes_list: list) -> np.ndarray:
+    """Per-shot acceptance over bucket-wide float distance tensors.
+
+    For a weighted region (``w_ano != 0``) the integer engine declines
+    and the per-shot core computes float :meth:`DistanceModel.pairwise`
+    / :meth:`boundary` matrices shot by shot.  Here same-size shots are
+    stacked and the whole bucket's distances come out of
+    :meth:`DistanceModel.pairwise_batch` / :meth:`boundary_batch` —
+    bit-equal, row for row, to the per-shot methods — while the
+    acceptance scan stays the certified per-shot loop, fed the
+    precomputed slices.  Outcomes are therefore bit-identical to
+    ``[greedy_cut_parity(model, nodes) for nodes in nodes_list]``.
+    """
+    S_all = len(nodes_list)
+    parities = np.zeros(S_all, dtype=np.int8)
+    ns = np.fromiter((len(x) for x in nodes_list), dtype=np.int64,
+                     count=S_all)
+    order = np.argsort(ns, kind="stable")
+    k = 0
+    while k < S_all:
+        n = int(ns[order[k]])
+        k2 = k
+        while k2 < S_all and ns[order[k2]] == n:
+            k2 += 1
+        if n == 0:
+            k = k2
+            continue
+        smax = max(1, _FLOAT_BUCKET_BUDGET // (n * n))
+        for blo in range(k, k2, smax):
+            ids = order[blo:min(k2, blo + smax)]
+            stacked = np.stack([np.asarray(nodes_list[s], dtype=float)
+                                for s in ids])
+            dist = model.pairwise_batch(stacked)
+            bdist, bside = model.boundary_batch(stacked)
+            for q, s in enumerate(ids.tolist()):
+                _, north, _ = _greedy_fast_core(
+                    model, np.asarray(nodes_list[s]), False,
+                    dist=dist[q], bdist=bdist[q], bside=bside[q])
+                parities[s] = north & 1
+        k = k2
+    return parities
+
+
+def batched_region_cut_parities(distance: int, regions: list,
+                                nodes_list: list, w_ano: float = 0.0,
+                                arena: Optional[ScratchArena] = None
+                                ) -> np.ndarray:
+    """North-cut parities for a chunk where every shot has its own region.
+
+    The end-to-end campaign's oracle and detected decodes hand each
+    shot a different :class:`AnomalousRegion` (the true strike, or the
+    detection unit's estimate — whose onset varies shot to shot).
+    Equals, bit for bit,
+
+    ``[greedy_cut_parity(DistanceModel(distance, reg, w_ano), nodes)
+    for reg, nodes in zip(regions, nodes_list)]``
+
+    (with the uniform model for ``reg is None`` shots).  With
+    ``w_ano == 0`` and in-envelope coordinates the whole chunk runs
+    through the integer engine, which folds the per-shot region boxes
+    into its bucket tensors — no per-region grouping needed.  Outside
+    that envelope shots group by :func:`region_signature` and each
+    group decodes through :func:`batched_cut_parities` (integer engine,
+    float bucketed tier, or per-shot core — whatever its model admits).
+    """
+    S = len(nodes_list)
+    if len(regions) != S:
+        raise ValueError("need exactly one region (or None) per shot")
+    out = np.zeros(S, dtype=np.int8)
+    if S == 0:
+        return out
+    if arena is None:
+        arena = ScratchArena()
+
+    sub_nodes: list = []
+    sub_regs: list = []
+    sub_idx: list = []
+    for s, nodes in enumerate(nodes_list):
+        nodes = np.asarray(nodes)
+        if len(nodes):
+            sub_nodes.append(nodes)
+            sub_regs.append(regions[s])
+            sub_idx.append(s)
+    if not sub_nodes:
+        return out
+
+    allc = np.concatenate(sub_nodes)
+    if (w_ano == 0.0 and _coords_eligible(distance, allc)
+            and all(r is None or _region_ok(distance, r)
+                    for r in sub_regs)
+            and len(sub_nodes) * max(map(len, sub_nodes)) < 2**31):
+        parities, _ = _decode_engine(DistanceModel(distance), sub_nodes,
+                                     arena, False, allc, regions=sub_regs)
+        out[sub_idx] = parities
+        return out
+
+    groups: dict = {}
+    for pos, reg in enumerate(sub_regs):
+        groups.setdefault(region_signature(reg), []).append(pos)
+    for positions in groups.values():
+        reg = sub_regs[positions[0]]
+        model = (DistanceModel(distance, reg, w_ano) if reg is not None
+                 else DistanceModel(distance))
+        par = batched_cut_parities(model, [sub_nodes[p] for p in positions],
+                                   arena=arena)
+        for p, v in zip(positions, par.tolist()):
+            out[sub_idx[p]] = v
     return out
 
 

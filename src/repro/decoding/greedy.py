@@ -41,18 +41,27 @@ def _upper_mask(n: int) -> np.ndarray:
 
 
 def _greedy_fast_core(model: DistanceModel, nodes: np.ndarray,
-                      collect_matches: bool):
+                      collect_matches: bool, dist=None, bdist=None,
+                      bside=None):
     """Shared pruned acceptance loop; returns (matches, north, weight).
 
     ``matches`` is ``None`` unless ``collect_matches`` — the batched shot
     engine only needs the north-cut parity, and skipping the ``Match``
     construction and re-scan saves a meaningful slice of each decode.
+
+    ``dist``/``bdist``/``bside`` may be supplied precomputed (the
+    region-bucketed engine slices them out of
+    :meth:`DistanceModel.pairwise_batch` / :meth:`boundary_batch`
+    tensors, which are bit-equal to the per-shot methods); when omitted
+    they are computed here exactly as before.
     """
     n = len(nodes)
-    dist = model.pairwise_int(nodes)
-    if dist is None:  # rare: non-integer nodes or weighted region
-        dist = model.pairwise(nodes)
-    bdist, bside = model.boundary(nodes)
+    if dist is None:
+        dist = model.pairwise_int(nodes)
+        if dist is None:  # rare: non-integer nodes or weighted region
+            dist = model.pairwise(nodes)
+    if bdist is None:
+        bdist, bside = model.boundary(nodes)
     integral = dist.dtype != np.float64
 
     # Zero-distance pairs (nodes inside a w_ano = 0 box, or coordinate

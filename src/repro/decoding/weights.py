@@ -25,6 +25,21 @@ NORTH = -1
 SOUTH = -2
 
 
+def region_signature(region: Optional[AnomalousRegion]) -> tuple:
+    """Hashable key of a region's decode-relevant geometry.
+
+    Two shots whose regions share a signature (box origin/size and time
+    window — plus the model-level ``w_ano``, which callers key
+    separately) see identical matching distances for identical nodes,
+    so the region-bucketed decode engine may group them into one
+    bucket.  ``None`` (no region) maps to the empty tuple.
+    """
+    if region is None:
+        return ()
+    return (region.row_lo, region.col_lo, region.size, region.t_lo,
+            -1 if region.t_hi is None else region.t_hi)
+
+
 def llr_weight(p: float) -> float:
     """The log-likelihood edge weight ``-log(p / (1 - p))`` of a flip rate."""
     if not 0.0 < p < 1.0:

@@ -23,7 +23,6 @@ configurations; see DESIGN.md "Substitutions"):
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

@@ -58,7 +58,8 @@ import numpy as np
 
 from repro.core.statistics import (SyndromeStatistics, detection_threshold,
                                    expected_activity_rate)
-from repro.decoding.batched import ScratchArena, batched_cut_parities
+from repro.decoding.batched import (ScratchArena, batched_cut_parities,
+                                    batched_region_cut_parities)
 from repro.decoding.graph import SyndromeLattice
 from repro.decoding.greedy import greedy_cut_parity
 from repro.decoding.mwpm import MWPMDecoder
@@ -72,8 +73,33 @@ from repro.sim.montecarlo import BinomialEstimate, wilson_interval
 #: Recognized values of the shot-engine ``packing`` knob.
 PACKING_MODES = ("bits", "none")
 
-#: Recognized values of the shot-engine ``decode`` knob.
+#: Recognized values of the shot-engine ``decode``/``scan`` knobs.
 DECODE_MODES = ("batched", "pershot")
+
+#: Largest single chunk an in-process (``workers=0``) campaign decodes
+#: at once: the retired sequential entry points batch their whole shot
+#: request, and this cap keeps the word arrays of a huge request from
+#: dominating memory.
+MAX_CHUNK_SHOTS = 4096
+
+#: Activity-tensor element budget per in-process chunk.  The batched
+#: windowed scan materializes int32 cumulative sums (plus a windowed
+#: copy) of the whole ``(S, T, rows, cols)`` chunk, so the chunk size
+#: must shrink with ``cycles * d^2`` — a shots-only cap would OOM the
+#: paper-scale Fig. 7 points (d = 21, c_win in the hundreds) that the
+#: old sequential path streamed one trial at a time.
+MAX_CHUNK_ELEMENTS = 1 << 25
+
+
+def default_chunk_shots(shots: int, per_shot_elements: int) -> int:
+    """Chunk size for a ``workers=0`` whole-request campaign.
+
+    The whole request when it fits, shrunk by the per-shot activity
+    footprint (``total_cycles * lattice nodes``) so one chunk's scan
+    tensors stay inside :data:`MAX_CHUNK_ELEMENTS`.
+    """
+    cap = max(1, MAX_CHUNK_ELEMENTS // max(1, per_shot_elements))
+    return max(1, min(shots, MAX_CHUNK_SHOTS, cap))
 
 
 # ----------------------------------------------------------------------
@@ -216,6 +242,25 @@ def _windowed_over(activity: np.ndarray, c_win: int,
     windowed[1:] -= cum[:-c_win]
     over = windowed > v_th
     return over, over.sum(axis=(1, 2))
+
+
+def _windowed_over_batch(activity: np.ndarray, c_win: int,
+                         v_th: float) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`_windowed_over` across a whole ``(S, T, ...)`` batch.
+
+    Integer cumulative sums, so ``over[s]`` / ``n_over[s]`` equal the
+    per-shot scan bit for bit; one pass replaces the ``S`` per-shot
+    cumsum/window calls of the kernels' detection scans.
+    """
+    if activity.shape[1] < c_win:
+        empty = np.zeros((len(activity), 0) + activity.shape[2:],
+                         dtype=bool)
+        return empty, np.zeros((len(activity), 0), dtype=np.int64)
+    cum = np.cumsum(activity, axis=1, dtype=np.int32)
+    windowed = cum[:, c_win - 1:].copy()
+    windowed[:, 1:] -= cum[:, :-c_win]
+    over = windowed > v_th
+    return over, over.sum(axis=(2, 3))
 
 
 # ----------------------------------------------------------------------
@@ -416,11 +461,31 @@ class EndToEndShotKernel:
         window closes (``onset + d`` cycles after the flag, or the full
         run on a miss), the control unit's region estimate, and the
         detection latency (-1 on a miss).  The single copy of the scan
-        keeps the float and packed paths scoring identically.
+        tail keeps every path — float, packed, per-shot, batched —
+        scoring identically.
         """
         _, v_th, _, _, _ = self._state
+        return self._detect_scan(*_windowed_over(activity, self.c_win,
+                                                 v_th))
+
+    def _detect_all(self, activity: np.ndarray) -> list:
+        """Detection scans for a whole ``(S, T, rows, cols)`` chunk.
+
+        ``decode="batched"`` runs one batched windowed-count pass;
+        ``"pershot"`` keeps the per-shot scans.  Bit-equal either way
+        (integer window sums), certified by the equivalence suite.
+        """
+        _, v_th, _, _, _ = self._state
+        if self.decode == "batched":
+            over, n_over = _windowed_over_batch(activity, self.c_win,
+                                                v_th)
+            return [self._detect_scan(over[s], n_over[s])
+                    for s in range(len(activity))]
+        return [self._detect(activity[s]) for s in range(len(activity))]
+
+    def _detect_scan(self, over: np.ndarray, n_over: np.ndarray):
+        """The scan tail shared by the per-shot and batched passes."""
         d, cycles, c_win = self.distance, self.cycles, self.c_win
-        over, n_over = _windowed_over(activity, c_win, v_th)
         start = max(self.onset - (c_win - 1), 0)
         fired = np.flatnonzero(n_over[start:] > self.n_th)
         if not len(fired):
@@ -453,6 +518,45 @@ class EndToEndShotKernel:
             DistanceModel(d, estimated, w_ano), nodes)
         return naive, detected, oracle
 
+    def _assemble(self, nodes_list: list, parities: np.ndarray,
+                  regions: list, detections: list) -> np.ndarray:
+        """Score the chunk's three strategies and pack the output rows.
+
+        ``decode="batched"``: one region-bucketed engine call decodes
+        the whole chunk per strategy — naive shares one model, oracle
+        folds each shot's true strike box into the bucket tensors, and
+        detected folds each detecting shot's estimate (whose onset
+        varies shot to shot); misses inherit the naive matching.
+        ``decode="pershot"`` keeps the per-shot reference loop.
+        """
+        shots = len(nodes_list)
+        naive = self._naive_parities(nodes_list)
+        out = np.empty((shots, 4), dtype=np.int64)
+        if self.decode == "batched":
+            _, _, _, _, w_ano = self._state
+            err = parities.astype(np.int8)
+            oracle = batched_region_cut_parities(
+                self.distance, regions, nodes_list, w_ano,
+                arena=self._arena)
+            detected = naive.copy()
+            det_idx = [s for s, (est, _) in enumerate(detections)
+                       if est is not None]
+            if det_idx:
+                detected[det_idx] = batched_region_cut_parities(
+                    self.distance, [detections[s][0] for s in det_idx],
+                    [nodes_list[s] for s in det_idx], w_ano,
+                    arena=self._arena)
+            out[:, 0] = err ^ naive
+            out[:, 1] = err ^ detected
+            out[:, 2] = err ^ oracle
+        else:
+            for s, (estimated, _) in enumerate(detections):
+                out[s, :3] = self._score(nodes_list[s], int(parities[s]),
+                                         int(naive[s]), regions[s],
+                                         estimated)
+        out[:, 3] = [latency for _, latency in detections]
+        return out
+
     def run_batch(self, shots: int, rng: np.random.Generator) -> np.ndarray:
         self.prepare()
         lattice, _, base_noise, _, _ = self._state
@@ -471,21 +575,14 @@ class EndToEndShotKernel:
         detections = []
         nodes_list = []
         parities = np.empty(shots, dtype=np.int64)
-        for s in range(shots):
-            stop, estimated, latency = self._detect(activity[s])
+        for s, scan in enumerate(self._detect_all(activity)):
+            stop, estimated, latency = scan
             vs = v[s, :stop]
             nodes_list.append(lattice.detection_events(
                 vs, h[s, :stop], m[s, :stop]))
             parities[s] = lattice.error_cut_parity(vs)
             detections.append((estimated, latency))
-        naive = self._naive_parities(nodes_list)
-
-        out = np.empty((shots, 4), dtype=np.int64)
-        for s, (estimated, latency) in enumerate(detections):
-            out[s, :3] = self._score(nodes_list[s], int(parities[s]),
-                                     int(naive[s]), regions[s], estimated)
-            out[s, 3] = latency
-        return out
+        return self._assemble(nodes_list, parities, regions, detections)
 
     def run_batch_packed(self, shots: int,
                          rng: np.random.Generator) -> np.ndarray:
@@ -498,6 +595,15 @@ class EndToEndShotKernel:
         is one bit of the packed running north-cut parity — all of which
         are sliced out of the word arrays already computed for the whole
         batch.
+        """
+        return self._assemble(*self._chunk_packed(shots, rng))
+
+    def _chunk_packed(self, shots: int, rng: np.random.Generator) -> tuple:
+        """Sample + detect one packed chunk, stopping short of decode.
+
+        Returns the decode-stage inputs ``(nodes_list, parities,
+        regions, detections)`` — the seam the decode-stage bench times
+        :meth:`_assemble` across.
         """
         self.prepare()
         lattice, _, base_noise, _, _ = self._state
@@ -514,23 +620,20 @@ class EndToEndShotKernel:
         coords, vals, bounds = lattice.packed_active_nodes(activity)
         north_prefix = lattice.north_cut_prefix_packed(v)
 
+        if self.decode == "batched":
+            scans = self._detect_all(bitops.unpack_shots(activity, shots))
+        else:
+            scans = [self._detect(bitops.lane(activity, s))
+                     for s in range(shots)]
         detections = []
         nodes_list = []
         parities = np.empty(shots, dtype=np.int64)
-        for s in range(shots):
-            stop, estimated, latency = self._detect(bitops.lane(activity, s))
+        for s, (stop, estimated, latency) in enumerate(scans):
             nodes_list.append(self._shot_nodes_truncated(
                 lattice, coords, vals, bounds, m, s, stop))
             parities[s] = bitops.lane_bit(north_prefix[:, stop - 1], s)
             detections.append((estimated, latency))
-        naive = self._naive_parities(nodes_list)
-
-        out = np.empty((shots, 4), dtype=np.int64)
-        for s, (estimated, latency) in enumerate(detections):
-            out[s, :3] = self._score(nodes_list[s], int(parities[s]),
-                                     int(naive[s]), regions[s], estimated)
-            out[s, 3] = latency
-        return out
+        return nodes_list, parities, regions, detections
 
     @staticmethod
     def _shot_nodes_truncated(lattice, coords, vals, bounds, m,
@@ -552,14 +655,17 @@ class EndToEndShotKernel:
         return nodes
 
 
-class DetectionTrialKernel:
+class DetectionShotKernel:
     """Batched detection trials (Fig. 7) for the shot engine.
 
     Output rows are ``(false_positive, detected, latency, position_error)``
     with ``latency = -1`` and ``position_error = nan`` on a miss.  Uses
     the same windowed-count scan as :class:`EndToEndShotKernel`: exact
     under the discard semantics, where pre-onset flags clear their masks
-    and the first post-onset flag ends the trial.
+    and the first post-onset flag ends the trial.  ``scan="batched"``
+    (the default) runs one windowed-count pass over the whole chunk;
+    ``"pershot"`` keeps the per-trial scan as the in-tree reference —
+    outputs are bit-equal either way.
     """
 
     success_column = 1
@@ -567,7 +673,11 @@ class DetectionTrialKernel:
 
     def __init__(self, distance: int, p: float, p_ano: float,
                  anomaly_size: int, c_win: int, n_th: int, alpha: float,
-                 normal_cycles: int, post_cycles: int):
+                 normal_cycles: int, post_cycles: int,
+                 scan: str = "batched"):
+        if scan not in DECODE_MODES:
+            raise ValueError(f"scan must be one of {DECODE_MODES}")
+        self.scan = scan
         self.distance = distance
         self.p = p
         self.p_ano = p_ano
@@ -598,12 +708,33 @@ class DetectionTrialKernel:
         """One trial's windowed-count scan and outcome row.
 
         Returns ``(false_positive, detected, latency, position_error)``;
-        the single copy keeps the float and packed paths scoring
-        identically.
+        the single copy of the scan tail keeps every path — float,
+        packed, per-shot, batched — scoring identically.
         """
         v_th, _, _ = self._state
+        return self._score_scan(*_windowed_over(activity, self.c_win,
+                                                v_th), region)
+
+    def _score_all(self, activity: np.ndarray,
+                   regions: list) -> np.ndarray:
+        """Outcome rows for a whole ``(S, T, rows, cols)`` chunk."""
+        shots = len(activity)
+        out = np.empty((shots, 4), dtype=np.float64)
+        if self.scan == "batched":
+            v_th, _, _ = self._state
+            over, n_over = _windowed_over_batch(activity, self.c_win,
+                                                v_th)
+            for s in range(shots):
+                out[s] = self._score_scan(over[s], n_over[s], regions[s])
+        else:
+            for s in range(shots):
+                out[s] = self._score_trial(activity[s], regions[s])
+        return out
+
+    def _score_scan(self, over: np.ndarray, n_over: np.ndarray,
+                    region: AnomalousRegion) -> tuple:
+        """The scan tail shared by the per-shot and batched passes."""
         c_win, onset = self.c_win, self.normal_cycles
-        over, n_over = _windowed_over(activity, c_win, v_th)
         if not len(n_over):
             return (0.0, 0.0, -1.0, np.nan)
         # Windowed index k corresponds to cycle t = k + c_win - 1.
@@ -632,12 +763,8 @@ class DetectionTrialKernel:
         for s, region in enumerate(regions):
             _overwrite_anomalous(v, h, m, s, region, self.distance,
                                  self.p_ano, rng)
-        activity = lattice.per_cycle_activity(v, h, m)
-
-        out = np.empty((shots, 4), dtype=np.float64)
-        for s in range(shots):
-            out[s] = self._score_trial(activity[s], regions[s])
-        return out
+        return self._score_all(lattice.per_cycle_activity(v, h, m),
+                               regions)
 
     def run_batch_packed(self, shots: int,
                          rng: np.random.Generator) -> np.ndarray:
@@ -659,11 +786,17 @@ class DetectionTrialKernel:
             _overwrite_anomalous_packed(v, h, m, s, region, self.distance,
                                         self.p_ano, rng)
         activity = lattice.per_cycle_activity_packed(v, h, m)
-
+        if self.scan == "batched":
+            return self._score_all(bitops.unpack_shots(activity, shots),
+                                   regions)
         out = np.empty((shots, 4), dtype=np.float64)
         for s in range(shots):
             out[s] = self._score_trial(bitops.lane(activity, s), regions[s])
         return out
+
+
+#: Pre-PR-4 name of :class:`DetectionShotKernel`, kept for callers.
+DetectionTrialKernel = DetectionShotKernel
 
 
 # ----------------------------------------------------------------------

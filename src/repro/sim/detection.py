@@ -92,24 +92,40 @@ def run_detection_trials(
     seed: Optional[int] = None,
     workers: int = 0,
     packing: str = "bits",
+    engine: str = "batched",
 ) -> DetectionPerformance:
     """Stream trials through the detection unit and aggregate outcomes.
 
     Each trial: ``normal_cycles`` of anomaly-free operation (any flag here
     is a false positive), then an MBBE appears at a random position and
-    runs for ``post_cycles`` (no flag here is a miss).  ``workers >= 1``
-    runs the batched kernel (``> 1`` on a process pool; bit-packed
-    sampling/extraction by default, see ``packing``); ``0`` keeps the
-    sequential streaming path.
+    runs for ``post_cycles`` (no flag here is a miss).  The batched
+    kernel (one windowed-count pass per chunk, bit-packed
+    sampling/extraction by default — see ``packing``) is the production
+    path for every ``workers`` value: ``0`` (default) runs it
+    in-process over whole-request chunks (``batch_size = trials``,
+    shrunk by :func:`repro.sim.batch.default_chunk_shots` when the
+    chunk's activity tensors would not fit in memory), ``> 1`` fans
+    batches over a process pool.  ``engine="reference"`` keeps the
+    original per-cycle streaming loop through the
+    :class:`AnomalyDetectionUnit` — the certified reference the
+    equivalence suite scores the batched scan against.
     """
-    if workers:
-        from repro.sim.batch import BatchShotRunner, DetectionTrialKernel
-        kernel = DetectionTrialKernel(
+    if engine not in ("batched", "reference"):
+        raise ValueError("engine must be 'batched' or 'reference'")
+    if engine == "batched":
+        from repro.sim.batch import (BatchShotRunner, DetectionShotKernel,
+                                     default_chunk_shots)
+        kernel = DetectionShotKernel(
             distance, p, p_ano, anomaly_size, c_win, n_th, alpha,
             normal_cycles if normal_cycles is not None else 2 * c_win,
             post_cycles if post_cycles is not None else 4 * c_win)
+        batch_size = None
+        if workers == 0:
+            total = kernel.normal_cycles + kernel.post_cycles
+            batch_size = default_chunk_shots(
+                trials, total * (distance - 1) * distance)
         runner = BatchShotRunner(kernel, workers=workers, seed=seed,
-                                 packing=packing)
+                                 batch_size=batch_size, packing=packing)
         out = runner.run(trials).outcomes
         latencies_arr = out[out[:, 2] >= 0, 2]
         errors_arr = out[np.isfinite(out[:, 3]), 3]

@@ -188,21 +188,33 @@ class EndToEndExperiment:
             workers: int = 0,
             batch_size: Optional[int] = None,
             seed: Optional[int] = None,
-            packing: str = "bits") -> EndToEndResult:
+            packing: str = "bits",
+            engine: str = "batched") -> EndToEndResult:
         """Run the campaign and aggregate failure rates.
 
-        ``workers = 0`` (default) keeps the sequential per-cycle path;
-        ``workers >= 1`` runs the batched shot engine — bit-packed
-        sampling and word-wise syndrome extraction by default
-        (``packing="bits"``, outcome-identical to the ``"none"`` float
-        reference per ``(seed, batch_size)``); ``workers > 1`` fans
+        The batched shot engine (region-bucketed decoding, bit-packed
+        sampling by default — ``packing="bits"`` is outcome-identical
+        to the ``"none"`` float reference per ``(seed, batch_size)``)
+        is the production path for every ``workers`` value:
+        ``workers = 0`` (default) runs it in-process over whole-request
+        chunks (``batch_size = shots``, shrunk by
+        :func:`repro.sim.batch.default_chunk_shots` when the chunk's
+        activity tensors would not fit in memory); ``workers > 1`` fans
         batches over a process pool.  Batched campaigns are
-        reproducible from ``seed`` (drawn from ``rng`` when not given).
+        reproducible from ``(seed, batch_size)`` (``seed`` drawn from
+        ``rng`` when not given).
+
+        ``engine="reference"`` keeps the original per-cycle
+        :meth:`run_shot` loop — the certified reference the
+        equivalence suite scores the batched engine against (slow; it
+        streams ``rng`` shot by shot and ignores the engine knobs).
         """
         if shots < 1:
             raise ValueError("need at least one shot")
         rng = rng if rng is not None else np.random.default_rng()
-        if workers == 0:
+        if engine not in ("batched", "reference"):
+            raise ValueError("engine must be 'batched' or 'reference'")
+        if engine == "reference":
             naive = detected = oracle = found = 0
             latencies: list[int] = []
             for _ in range(shots):
@@ -223,9 +235,14 @@ class EndToEndExperiment:
                               else float("nan")),
             )
 
-        from repro.sim.batch import BatchShotRunner, EndToEndShotKernel
+        from repro.sim.batch import (BatchShotRunner, EndToEndShotKernel,
+                                     default_chunk_shots)
         if seed is None:
             seed = int(rng.integers(2 ** 63))
+        if batch_size is None and workers == 0:
+            batch_size = default_chunk_shots(
+                shots,
+                self.cycles * (self.distance - 1) * self.distance)
         kernel = EndToEndShotKernel(
             self.distance, self.p, self.p_ano, self.anomaly_size,
             self.onset, self.cycles, self.c_win, self.n_th, self.alpha)

@@ -1,7 +1,5 @@
 """Tests for the analytic models: Eq. (1), first-order cases, Eq. (4)."""
 
-import math
-
 import pytest
 from hypothesis import given, strategies as st
 

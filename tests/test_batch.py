@@ -526,7 +526,7 @@ class TestEndToEndBatch:
         exp = EndToEndExperiment(9, 0.008, anomaly_size=3, onset=60,
                                  cycles=140, c_win=50, n_th=6)
         shots = 120
-        seq = exp.run(shots, np.random.default_rng(41))
+        seq = exp.run(shots, np.random.default_rng(41), engine="reference")
         bat = exp.run(shots, workers=1, seed=41)
         for key in ("naive", "detected", "oracle"):
             p = (seq.rates()[key] + bat.rates()[key]) / 2
@@ -558,7 +558,7 @@ class TestDetectionTrialsBatch:
         outcomes within Monte-Carlo resolution."""
         kwargs = dict(distance=11, p=1e-3, p_ano=0.05, anomaly_size=3,
                       c_win=100, n_th=8, trials=16)
-        seq = run_detection_trials(seed=23, workers=0, **kwargs)
+        seq = run_detection_trials(seed=23, engine="reference", **kwargs)
         bat = run_detection_trials(seed=23, workers=1, **kwargs)
         assert seq.miss_rate == bat.miss_rate == 0.0
         assert abs(seq.false_positive_rate - bat.false_positive_rate) <= 0.5

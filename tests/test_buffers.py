@@ -6,7 +6,6 @@ import pytest
 from repro.arch.buffers import (
     HistoryEntry,
     InstructionHistoryBuffer,
-    MatchBatch,
     MatchingQueue,
     MatchRecord,
     SyndromeQueue,

@@ -12,7 +12,7 @@ from repro.decoding import (
     SOUTH,
     SyndromeLattice,
 )
-from repro.noise import AnomalousRegion, PhenomenologicalNoise
+from repro.noise import AnomalousRegion
 
 
 def decoders(model):

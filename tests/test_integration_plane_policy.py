@@ -8,7 +8,6 @@ relocation changes where subsequent lattice surgery terminates.
 from collections import deque
 
 import numpy as np
-import pytest
 
 from repro.arch.isa import Instruction, InstructionKind
 from repro.arch.qubit_plane import BlockState, QubitPlane

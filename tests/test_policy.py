@@ -5,7 +5,6 @@ import pytest
 
 from repro.arch.qubit_plane import BlockState, QubitPlane
 from repro.core.policy import (
-    ReactionOutcome,
     ReactionPolicy,
     ReactionPolicyEngine,
 )

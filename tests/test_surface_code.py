@@ -1,7 +1,6 @@
 """Tests for the planar surface-code layout and stabilizer structure."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.stab.pauli import Pauli
 from repro.stab.tableau import StabilizerSimulator
