@@ -2,23 +2,13 @@
 
 Every bench regenerates one of the paper's tables or figures and prints
 the same rows/series the paper reports.  Monte-Carlo depth is controlled
-by environment variables so CI stays fast while full-fidelity runs remain
-one command away:
-
-* ``REPRO_SAMPLES``  -- samples per Monte-Carlo data point (default 200;
-  the paper used >= 1e5 over ~6 days of CPU time).
-* ``REPRO_SCALE``    -- multiplier on all workload sizes (default 1.0).
-* ``REPRO_WORKERS``  -- shot-engine parallelism (default 1: batched
-  in-process vectorized path; ``0`` forces the sequential per-shot
-  loops; ``> 1`` fans batches over a process pool of that size).
-* ``REPRO_BACKEND``  -- array backend for the packed kernels (``numpy``
-  default; ``cupy`` is experimental and falls back with a warning).
-* ``REPRO_JSON``     -- machine-readable bench trajectory: ``1``
-  (default) lets benches merge their stage throughputs and speedup
-  ratios into ``BENCH_<name>.json`` via :func:`emit_json`; ``0``
-  disables.  ``--json`` on the command line forces it on.
-* ``REPRO_JSON_DIR`` -- where those JSON files land (default: this
-  ``benchmarks/`` directory).
+by the ``REPRO_*`` environment knobs so CI stays fast while
+full-fidelity runs remain one command away.  The knobs themselves —
+``REPRO_SAMPLES``, ``REPRO_SCALE``, ``REPRO_WORKERS``,
+``REPRO_BACKEND``, ``REPRO_JSON``, ``REPRO_JSON_DIR`` — are owned and
+documented by :mod:`repro.config` (one reader, call-time resolution);
+the thin wrappers here keep the bench scripts' historical names and the
+``--json`` command-line override.
 
 See ``benchmarks/README.md`` for the workflow and the JSON schema.
 """
@@ -30,29 +20,27 @@ import os
 import sys
 from typing import Iterable, Optional
 
+from repro import config
+
 
 def mc_samples(default: int = 200) -> int:
-    """Samples per Monte-Carlo point, from the environment."""
-    return max(1, int(float(os.environ.get("REPRO_SAMPLES", default))
-                      * scale()))
+    """Samples per Monte-Carlo point (``REPRO_SAMPLES`` x ``REPRO_SCALE``)."""
+    return config.samples(default)
 
 
 def mc_workers(default: int = 1) -> int:
-    """Shot-engine worker count, from the environment."""
-    return max(0, int(os.environ.get("REPRO_WORKERS", default)))
+    """Shot-engine worker count (``REPRO_WORKERS``)."""
+    return config.workers(default)
 
 
 def scale() -> float:
-    """Global workload multiplier, from the environment."""
-    return float(os.environ.get("REPRO_SCALE", "1.0"))
+    """Global workload multiplier (``REPRO_SCALE``)."""
+    return config.scale()
 
 
 def json_enabled() -> bool:
     """Whether benches should write their machine-readable JSON."""
-    if "--json" in sys.argv:
-        return True
-    return os.environ.get("REPRO_JSON", "1").strip().lower() not in (
-        "0", "false", "no", "off", "")
+    return config.json_enabled(sys.argv)
 
 
 def emit_json(name: str, section: str, payload: dict) -> Optional[str]:
@@ -65,8 +53,7 @@ def emit_json(name: str, section: str, payload: dict) -> Optional[str]:
     """
     if not json_enabled():
         return None
-    out_dir = os.environ.get("REPRO_JSON_DIR",
-                             os.path.dirname(os.path.abspath(__file__)))
+    out_dir = config.json_dir(os.path.dirname(os.path.abspath(__file__)))
     path = os.path.join(out_dir, f"BENCH_{name}.json")
     doc: dict = {}
     if os.path.exists(path):

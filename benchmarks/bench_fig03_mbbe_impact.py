@@ -7,33 +7,43 @@ crossing point (threshold) is unchanged.
 
 Reduced defaults (REPRO_SAMPLES to deepen): distances 9/13/17 and a
 five-point p sweep keep the bench under a few minutes.
+
+The whole figure is one declarative campaign per curve family: a
+``Sweep`` of ``MemorySpec`` over (distance, p) run through
+``repro.campaigns.run`` — so this bench doubles as an API smoke test,
+and its grid is reproducible from the spec JSON alone.
 """
 
-import numpy as np
+import time
+
 import pytest
 
-from repro.noise import AnomalousRegion
-from repro.sim.memory import MemoryExperiment
+from repro import campaigns
 
-from _common import mc_samples, mc_workers, print_table
+from _common import emit_json, mc_samples, mc_workers, print_table
 
 DISTANCES = [9, 13, 17]
 PHYSICAL_RATES = [6e-3, 1e-2, 2e-2, 3e-2, 4e-2]
 ANOMALY_SIZE = 4
 
 
+def _family_sweep(with_mbbe: bool, samples: int) -> campaigns.Sweep:
+    """The declarative grid for one curve family (clean or struck)."""
+    base = campaigns.MemorySpec(
+        distance=DISTANCES[0], p=PHYSICAL_RATES[0], samples=samples,
+        region="centered" if with_mbbe else None,
+        anomaly_size=ANOMALY_SIZE,
+        seed=1042 if with_mbbe else 1024)
+    return campaigns.Sweep(base, axes={"distance": DISTANCES,
+                                       "p": PHYSICAL_RATES})
+
+
 def _sweep(with_mbbe: bool, samples: int) -> dict[tuple[int, float], float]:
-    rates = {}
-    for d in DISTANCES:
-        region = AnomalousRegion.centered(d, ANOMALY_SIZE) if with_mbbe \
-            else None
-        for p in PHYSICAL_RATES:
-            exp = MemoryExperiment(d, p, region=region)
-            seed = hash((d, p, with_mbbe)) % (2 ** 32)
-            est = exp.run(samples, np.random.default_rng(seed),
-                          workers=mc_workers())
-            rates[(d, p)] = est.per_cycle
-    return rates
+    executor = campaigns.default_executor(mc_workers())
+    result = campaigns.run(_family_sweep(with_mbbe, samples),
+                           executor=executor)
+    return {(o["distance"], o["p"]): r.estimates["per_cycle"]
+            for o, r in result.points}
 
 
 @pytest.mark.benchmark(group="fig3")
@@ -42,10 +52,20 @@ def bench_fig3_logical_error_rates(benchmark):
     samples = mc_samples()
 
     def run():
-        return _sweep(False, samples), _sweep(True, samples)
+        start = time.perf_counter()
+        out = _sweep(False, samples), _sweep(True, samples)
+        return out + (time.perf_counter() - start,)
 
-    clean, dirty = benchmark.pedantic(run, rounds=1, iterations=1)
+    clean, dirty, wall = benchmark.pedantic(run, rounds=1, iterations=1)
 
+    emit_json("batch", "fig03_mbbe_impact", {
+        "samples_per_point": samples,
+        "wall_clock_s": wall,
+        "per_cycle_rates": {
+            f"d{d}_p{p}_{family}": rates[(d, p)]
+            for family, rates in (("clean", clean), ("mbbe", dirty))
+            for d in DISTANCES for p in PHYSICAL_RATES},
+    })
     rows = []
     for p in PHYSICAL_RATES:
         row = [p]
@@ -69,7 +89,10 @@ def bench_fig3_logical_error_rates(benchmark):
 
 def smoke() -> None:
     """One tiny grid point (bench_smoke marker: import-rot guard)."""
-    exp = MemoryExperiment(5, 2e-2,
-                           region=AnomalousRegion.centered(5, 2))
-    est = exp.run(8, workers=1, seed=0)
-    assert 0.0 <= est.per_cycle <= 1.0
+    spec = campaigns.MemorySpec(distance=5, p=2e-2, samples=8,
+                                region="centered", anomaly_size=2, seed=0)
+    result = campaigns.run(spec, executor=campaigns.InlineExecutor())
+    assert 0.0 <= result.estimates["per_cycle"] <= 1.0
+    # The sweep expands and round-trips through JSON.
+    sweep = _family_sweep(True, samples=8)
+    assert campaigns.spec_from_json(campaigns.spec_to_json(sweep)) == sweep

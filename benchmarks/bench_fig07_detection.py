@@ -13,10 +13,10 @@ import time
 
 import pytest
 
+from repro import campaigns
 from repro.sim.detection import (
     analytic_required_window,
     empirical_required_window,
-    run_detection_trials,
 )
 
 from _common import emit_json, mc_workers, print_table, scale
@@ -78,17 +78,26 @@ def bench_fig7_detection_unit(benchmark):
 
 @pytest.mark.benchmark(group="fig7")
 def bench_fig7_single_operating_point(benchmark):
-    """Time one full detection campaign at the paper's operating point."""
-    result = benchmark(
-        run_detection_trials,
-        DISTANCE, P, 0.05, ANOMALY_SIZE, 300, N_TH, 0.01, 3, seed=1,
-        workers=mc_workers())
-    assert result.miss_rate == 0.0
+    """Time one full detection campaign at the paper's operating point.
+
+    Expressed as a declarative ``DetectionSpec`` through
+    ``repro.campaigns.run`` — the bench doubles as an API smoke test.
+    """
+    spec = campaigns.DetectionSpec(
+        distance=DISTANCE, p=P, p_ano=0.05, anomaly_size=ANOMALY_SIZE,
+        c_win=300, n_th=N_TH, alpha=0.01, trials=3, seed=1)
+    executor = campaigns.default_executor(mc_workers())
+    result = benchmark(campaigns.run, spec, executor)
+    assert result.estimates["miss_rate"] == 0.0
 
 
 def smoke() -> None:
     """One tiny grid point (bench_smoke marker: import-rot guard)."""
-    perf = run_detection_trials(7, 2e-3, 0.05, anomaly_size=2, c_win=40,
-                                n_th=3, trials=2, seed=1, workers=1)
+    spec = campaigns.DetectionSpec(distance=7, p=2e-3, p_ano=0.05,
+                                   anomaly_size=2, c_win=40, n_th=3,
+                                   trials=2, seed=1)
+    perf = campaigns.run(
+        spec, executor=campaigns.InlineExecutor(whole_request=False)).detail
     assert 0.0 <= perf.miss_rate <= 1.0
     assert analytic_required_window(1e-3, 1e-2) > 0
+    assert campaigns.spec_from_json(campaigns.spec_to_json(spec)) == spec

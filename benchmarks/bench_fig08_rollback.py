@@ -13,12 +13,11 @@ Eq. (4) reduction is roughly twice as large without rollback.
 
 import time
 
-import numpy as np
 import pytest
 
+from repro import campaigns
 from repro.analysis.firstorder import effective_distance_reduction
 from repro.noise import AnomalousRegion
-from repro.sim.memory import MemoryExperiment
 
 from _common import emit_json, mc_samples, mc_workers, print_table
 
@@ -28,9 +27,12 @@ ANOMALY_SIZES = [2, 4]
 
 
 def _rate(d, p, samples, region=None, informed=False, seed=0):
-    exp = MemoryExperiment(d, p, region=region, informed=informed)
-    return exp.run(samples, np.random.default_rng(seed),
-                   workers=mc_workers()).per_cycle
+    """One Fig. 8 grid point as a declarative ``MemorySpec`` campaign."""
+    spec = campaigns.MemorySpec(distance=d, p=p, samples=samples,
+                                region=region, informed=informed,
+                                seed=seed)
+    executor = campaigns.default_executor(mc_workers())
+    return campaigns.run(spec, executor=executor).estimates["per_cycle"]
 
 
 @pytest.mark.benchmark(group="fig8")

@@ -6,49 +6,70 @@ and anomaly frequency.  Expected shape: without rays the required density
 falls as 1/area; with rays the baseline (full-lifetime exposure at
 d - 2c) needs far more density than Q3DE (c_lat-cycle exposure at d - c),
 with up to ~10x qubit-count savings around density ratio ten.
+
+Each panel is a declarative campaign: a ``Sweep`` of ``ScalingSpec``
+run through ``repro.campaigns.run`` (``derive_seeds=False`` keeps the
+paper's fixed event-stream seed on every point), so this bench doubles
+as an API smoke test and emits its curves into ``BENCH_batch.json``.
 """
+
+import time
 
 import pytest
 
-from repro.scaling.model import (
-    ScalingParameters,
-    density_curve,
-    sweep_anomaly_size,
-    sweep_duration,
-    sweep_frequency,
-)
+from repro import campaigns
 
-from _common import print_table, scale
+from _common import emit_json, print_table, scale
 
-AREAS = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+AREAS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+BASE_LIFETIME_S = 25e-3
+BASE_FREQUENCY_HZ = 0.1
 
 
-def _params():
-    horizon = int(20_000_000 * scale())
-    return ScalingParameters(horizon_cycles=horizon)
+def _base_spec() -> campaigns.ScalingSpec:
+    return campaigns.ScalingSpec(
+        areas=AREAS, horizon_cycles=int(20_000_000 * scale()))
+
+
+def _panel(axes: dict) -> dict:
+    """Run one panel's sweep; key results by the overrides tuple."""
+    sweep = campaigns.Sweep(_base_spec(), axes=axes, derive_seeds=False)
+    result = campaigns.run(sweep)
+    return {tuple(sorted(o.items())): r.detail for o, r in result.points}
 
 
 @pytest.mark.benchmark(group="fig9")
 def bench_fig9_anomaly_size_panel(benchmark):
     """Left panel: one curve per anomaly size, Q3DE vs baseline."""
-    params = _params()
     sizes = [1, 2, 4]
 
     def run():
-        return (sweep_anomaly_size(params, sizes, AREAS, use_q3de=True),
-                sweep_anomaly_size(params, sizes, AREAS, use_q3de=False))
+        start = time.perf_counter()
+        curves = _panel({"use_q3de": [True, False], "anomaly_size": sizes})
+        return curves, time.perf_counter() - start
 
-    q3de, base = benchmark.pedantic(run, rounds=1, iterations=1)
+    curves, wall = benchmark.pedantic(run, rounds=1, iterations=1)
 
+    def curve(q3de, size):
+        return curves[tuple(sorted({"use_q3de": q3de,
+                                    "anomaly_size": size}.items()))]
+
+    emit_json("batch", "fig09_scalability", {
+        "wall_clock_s": wall,
+        "horizon_cycles": _base_spec().horizon_cycles,
+        "required_density": {
+            f"{'q3de' if q else 'base'}_s{s}_area{a:g}": value
+            for q in (True, False) for s in sizes
+            for a, value in zip(AREAS, curve(q, s))},
+    })
     rows = []
     for i, area in enumerate(AREAS):
         row = [area]
         for size in sizes:
-            row.append(q3de[size][i])
-            row.append(base[size][i])
+            row.append(curve(True, size)[i])
+            row.append(curve(False, size)[i])
         rows.append(row)
-    header = ["area"] + [f"{arch} s={s}" for s in sizes
-                         for arch in ("Q3DE", "base")]
     header = ["area"]
     for s in sizes:
         header += [f"Q3DE s={s}", f"base s={s}"]
@@ -56,7 +77,7 @@ def bench_fig9_anomaly_size_panel(benchmark):
                 header, rows)
 
     for size in sizes:
-        for q, b in zip(q3de[size], base[size]):
+        for q, b in zip(curve(True, size), curve(False, size)):
             if q is not None and b is not None:
                 assert q <= b * 1.01
 
@@ -64,46 +85,56 @@ def bench_fig9_anomaly_size_panel(benchmark):
 @pytest.mark.benchmark(group="fig9")
 def bench_fig9_duration_panel(benchmark):
     """Middle panel: baseline vs error-duration factor, Q3DE reference."""
-    params = _params()
     factors = [1.0, 0.1, 0.01]
+    lifetimes = [BASE_LIFETIME_S * f for f in factors]
 
     def run():
-        base = sweep_duration(params, factors, AREAS, use_q3de=False)
-        q3de = density_curve(params, AREAS, use_q3de=True)
+        base = _panel({"use_q3de": [False], "lifetime_s": lifetimes})
+        q3de = campaigns.run(_base_spec()).detail
         return base, q3de
 
     base, q3de = benchmark.pedantic(run, rounds=1, iterations=1)
 
+    def base_curve(lifetime):
+        return base[tuple(sorted({"use_q3de": False,
+                                  "lifetime_s": lifetime}.items()))]
+
     rows = []
     for i, area in enumerate(AREAS):
-        rows.append([area, q3de[i]] + [base[f][i] for f in factors])
+        rows.append([area, q3de[i]]
+                    + [base_curve(lt)[i] for lt in lifetimes])
     print_table(
         "Fig. 9 (middle): required density ratio vs error duration",
         ["area", "Q3DE"] + [f"base x{f}" for f in factors], rows)
 
     # Shorter bursts shrink the baseline's requirement toward Q3DE's.
     for i in range(len(AREAS)):
-        vals = [base[f][i] for f in factors if base[f][i] is not None]
+        vals = [base_curve(lt)[i] for lt in lifetimes
+                if base_curve(lt)[i] is not None]
         assert vals == sorted(vals, reverse=True)
 
 
 @pytest.mark.benchmark(group="fig9")
 def bench_fig9_frequency_panel(benchmark):
     """Right panel: both architectures vs anomaly-frequency factor."""
-    params = _params()
     factors = [1.0, 0.1, 0.01]
+    frequencies = [BASE_FREQUENCY_HZ * f for f in factors]
 
     def run():
-        return (sweep_frequency(params, factors, AREAS, use_q3de=True),
-                sweep_frequency(params, factors, AREAS, use_q3de=False))
+        return _panel({"use_q3de": [True, False],
+                       "frequency_hz": frequencies})
 
-    q3de, base = benchmark.pedantic(run, rounds=1, iterations=1)
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def curve(q3de, freq):
+        return curves[tuple(sorted({"use_q3de": q3de,
+                                    "frequency_hz": freq}.items()))]
 
     rows = []
     for i, area in enumerate(AREAS):
         row = [area]
-        for f in factors:
-            row += [q3de[f][i], base[f][i]]
+        for freq in frequencies:
+            row += [curve(True, freq)[i], curve(False, freq)[i]]
         rows.append(row)
     header = ["area"]
     for f in factors:
@@ -113,14 +144,15 @@ def bench_fig9_frequency_panel(benchmark):
         header, rows)
 
     # Q3DE advantage shrinks as rays get rarer.
-    for f in factors:
-        for q, b in zip(q3de[f], base[f]):
+    for freq in frequencies:
+        for q, b in zip(curve(True, freq), curve(False, freq)):
             if q is not None and b is not None:
                 assert q <= b * 1.01
 
 
 def smoke() -> None:
     """One tiny grid point (bench_smoke marker: import-rot guard)."""
-    params = ScalingParameters(horizon_cycles=200_000)
-    curve = density_curve(params, [4.0], use_q3de=True)
-    assert len(curve) == 1
+    spec = campaigns.ScalingSpec(areas=(4.0,), horizon_cycles=200_000)
+    result = campaigns.run(spec)
+    assert len(result.detail) == 1
+    assert campaigns.spec_from_json(campaigns.spec_to_json(spec)) == spec

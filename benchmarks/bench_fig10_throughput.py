@@ -14,27 +14,71 @@ import time
 
 import pytest
 
-from repro.arch.throughput import simulate_throughput, throughput_sweep
+from repro import campaigns
 
 from _common import emit_json, mc_workers, print_table, scale
 
 FREQUENCIES = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2]
 
 
+def _point_spec(architecture, n_inst, freq=0.0, duration_slots=100,
+                seed=7) -> campaigns.ThroughputSpec:
+    """One Fig. 10 point as a declarative ``ThroughputSpec``."""
+    return campaigns.ThroughputSpec(
+        architecture=architecture, num_instructions=n_inst,
+        strike_prob_per_slot=freq, strike_duration_slots=duration_slots,
+        seed=seed)
+
+
+def _run_point(spec_json: str) -> float:
+    """Pool-picklable point runner (specs travel as their JSON)."""
+    spec = campaigns.spec_from_json(spec_json)
+    return campaigns.run(spec).estimates["throughput"]
+
+
+def _run_points(specs) -> list[float]:
+    """Run point specs inline, or on a pool when REPRO_WORKERS > 1.
+
+    Every point carries its own seed inside its spec, so results are
+    identical either way — the legacy ``throughput_sweep(workers=)``
+    contract, now spec-shaped.
+    """
+    payloads = [campaigns.spec_to_json(spec) for spec in specs]
+    workers = mc_workers()
+    if workers > 1:
+        import multiprocessing
+        with multiprocessing.Pool(workers) as pool:
+            return pool.map(_run_point, payloads)
+    return [_run_point(payload) for payload in payloads]
+
+
+def _series(n_inst, duration_slots, seed=7) -> dict[str, list[float]]:
+    """The sweep of ``throughput_sweep``, one spec per point.
+
+    Per-point derived seeds (``seed + idx`` for the q3de curve) mirror
+    the legacy helper so the series stay reproducible point by point.
+    """
+    q3de = _run_points([
+        _point_spec("q3de", n_inst, freq, duration_slots, seed=seed + idx)
+        for idx, freq in enumerate(FREQUENCIES)])
+    flat = _run_points([_point_spec("mbbe_free", n_inst, seed=seed),
+                        _point_spec("baseline", n_inst, seed=seed)])
+    return {
+        "q3de": q3de,
+        "mbbe_free": [flat[0]] * len(FREQUENCIES),
+        "baseline": [flat[1]] * len(FREQUENCIES),
+    }
+
+
 @pytest.mark.benchmark(group="fig10")
 def bench_fig10_throughput_sweep(benchmark):
     """Regenerate all four Fig. 10 series."""
     n_inst = max(200, int(1000 * scale()))
-    workers = mc_workers()
 
     def run():
         start = time.perf_counter()
-        short = throughput_sweep(FREQUENCIES, duration_slots=100,
-                                 num_instructions=n_inst, seed=7,
-                                 workers=workers)
-        long = throughput_sweep(FREQUENCIES, duration_slots=1000,
-                                num_instructions=n_inst, seed=7,
-                                workers=workers)
+        short = _series(n_inst, duration_slots=100)
+        long = _series(n_inst, duration_slots=1000)
         return short, long, time.perf_counter() - start
 
     short, long, wall = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -74,24 +118,19 @@ def bench_fig10_throughput_sweep(benchmark):
 @pytest.mark.benchmark(group="fig10")
 def bench_fig10_single_run_timing(benchmark):
     """Time one mid-frequency Q3DE run (the harness's hot path)."""
-    import numpy as np
-
-    result = benchmark.pedantic(
-        simulate_throughput,
-        args=("q3de",),
-        kwargs=dict(num_instructions=300, strike_prob_per_slot=1e-4,
-                    strike_duration_slots=100,
-                    rng=np.random.default_rng(3)),
-        rounds=3, iterations=1)
-    assert result.instructions == 300
+    spec = campaigns.ThroughputSpec(
+        architecture="q3de", num_instructions=300,
+        strike_prob_per_slot=1e-4, strike_duration_slots=100, seed=3)
+    result = benchmark.pedantic(campaigns.run, args=(spec,),
+                                rounds=3, iterations=1)
+    assert result.counts["instructions"] == 300
 
 
 def smoke() -> None:
     """One tiny grid point (bench_smoke marker: import-rot guard)."""
-    import numpy as np
-
-    result = simulate_throughput("q3de", num_instructions=20,
-                                 strike_prob_per_slot=1e-4,
-                                 strike_duration_slots=10,
-                                 rng=np.random.default_rng(3))
-    assert result.throughput > 0
+    spec = campaigns.ThroughputSpec(
+        architecture="q3de", num_instructions=20,
+        strike_prob_per_slot=1e-4, strike_duration_slots=10, seed=3)
+    result = campaigns.run(spec)
+    assert result.estimates["throughput"] > 0
+    assert campaigns.spec_from_json(campaigns.spec_to_json(spec)) == spec

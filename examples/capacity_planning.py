@@ -12,26 +12,29 @@ exercise.
 Run:  python examples/capacity_planning.py
 """
 
+from repro import campaigns
 from repro.arch.memory_overhead import MemoryOverheadModel
-from repro.arch.throughput import simulate_throughput
 from repro.hwmodel.resources import (
     DecoderHardwareModel,
     required_anq_entries,
 )
-from repro.scaling.model import ScalingParameters, required_density
 
-AREAS = [2.0, 8.0, 32.0]
+AREAS = (2.0, 8.0, 32.0)
 
 
 def main():
-    params = ScalingParameters(horizon_cycles=20_000_000)
+    # Fig. 9 as one declarative sweep: a ScalingSpec per architecture.
+    sweep = campaigns.Sweep(
+        campaigns.ScalingSpec(areas=AREAS, horizon_cycles=20_000_000),
+        axes={"use_q3de": [False, True]}, derive_seeds=False)
+    curves = {overrides["use_q3de"]: result.detail
+              for overrides, result in campaigns.run(sweep)}
     print("Qubit budget for p_L < 1e-10 (ratios vs the Sycamore "
           "reference):\n")
     print(f"{'chip area':>10}  {'density (baseline)':>19}  "
           f"{'density (Q3DE)':>15}  {'saving':>7}")
-    for area in AREAS:
-        base = required_density(params, area, use_q3de=False)
-        q3de = required_density(params, area, use_q3de=True)
+    for i, area in enumerate(AREAS):
+        base, q3de = curves[False][i], curves[True][i]
         base_str = f"{base:.1f}" if base else ">max"
         q3de_str = f"{q3de:.1f}" if q3de else ">max"
         saving = f"{base / q3de:.1f}x" if base and q3de else "-"
@@ -54,14 +57,16 @@ def main():
           f"{hw.luts():,} LUTs ({hw.lut_utilisation():.0%} of a "
           f"ZU7EV) at {hw.throughput_matches_per_us():.2f} matches/us")
 
-    import numpy as np
-    free = simulate_throughput("mbbe_free", 400,
-                               rng=np.random.default_rng(0))
-    q3de = simulate_throughput("q3de", 400, strike_prob_per_slot=1e-5,
-                               strike_duration_slots=100,
-                               rng=np.random.default_rng(0))
-    base = simulate_throughput("baseline", 400,
-                               rng=np.random.default_rng(0))
+    def throughput(architecture, **overrides):
+        spec = campaigns.ThroughputSpec(
+            architecture=architecture, num_instructions=400, seed=0,
+            **overrides)
+        return campaigns.run(spec).detail
+
+    free = throughput("mbbe_free")
+    q3de = throughput("q3de", strike_prob_per_slot=1e-5,
+                      strike_duration_slots=100)
+    base = throughput("baseline")
     print(f"\nInstruction throughput (meas_ZZ per d cycles, 25 logical "
           f"qubits):")
     print(f"  MBBE-free {free.throughput:.2f} | Q3DE at realistic ray "

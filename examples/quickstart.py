@@ -1,15 +1,28 @@
 """Quickstart: encode, strike, detect, expand, re-decode.
 
-Walks the whole Q3DE story on one logical qubit in under a minute:
+Walks the whole Q3DE story on one logical qubit in under a minute,
+using the unified campaign API (`repro.campaigns`) — declarative specs,
+one `run()` entry point, uniform results with provenance:
 
 1. build a distance-9 surface-code memory and measure its logical error
-   rate;
+   rate with a `MemorySpec` campaign;
 2. strike it with a cosmic ray (a 4-qubit anomalous region at p_ano=0.5)
    and watch the logical error rate collapse;
 3. decode again with the anomaly position known (Q3DE's re-executed,
-   weighted decoding) and recover much of the loss;
+   weighted decoding) and recover much of the loss — the three
+   measurements are three `dataclasses.replace` variants of one base
+   spec (parameter *grids* get `campaigns.Sweep`; see docs/API.md);
 4. run the live control unit on the syndrome stream: detection fires,
    `op_expand` doubles the code distance, and the decoder rolls back.
+
+Every campaign here can equally be saved as JSON and run as
+`python -m repro run spec.json` — try:
+
+    python - <<'EOF'
+    from repro import campaigns
+    spec = campaigns.MemorySpec(distance=9, p=0.01, samples=400, seed=42)
+    print(campaigns.spec_to_json(spec, indent=2))
+    EOF
 
 Run:  python examples/quickstart.py
 """
@@ -18,11 +31,11 @@ import numpy as np
 
 from repro import (
     AnomalousRegion,
-    MemoryExperiment,
     PhenomenologicalNoise,
     Q3DEConfig,
     Q3DEControlUnit,
     SyndromeLattice,
+    campaigns,
 )
 from repro.sim.detection import calibrated_statistics
 
@@ -32,24 +45,32 @@ ANOMALY_SIZE = 4
 SAMPLES = 400
 
 
-def measure(label, **kwargs):
-    exp = MemoryExperiment(DISTANCE, P, **kwargs)
-    est = exp.run(SAMPLES, np.random.default_rng(42))
-    print(f"  {label:<42} p_L/run = {est.per_run:.4f}   "
-          f"p_L/cycle = {est.per_cycle:.5f}")
-    return est
-
-
 def main():
     print(f"Surface code memory: d={DISTANCE}, p={P}, "
           f"{SAMPLES} Monte-Carlo shots each\n")
 
     print("Step 1-3: the effect of an MBBE, and what informed decoding buys")
-    region = AnomalousRegion.centered(DISTANCE, ANOMALY_SIZE)
-    measure("MBBE free")
-    measure("cosmic-ray region, naive decoding", region=region)
-    measure("cosmic-ray region, Q3DE weighted decoding",
-            region=region, informed=True)
+    from dataclasses import replace
+    base = campaigns.MemorySpec(distance=DISTANCE, p=P, samples=SAMPLES,
+                                anomaly_size=ANOMALY_SIZE, seed=42)
+    # "centered" resolves against the spec's own distance, so the same
+    # declarative region works at any d.
+    measurements = [
+        ("MBBE free", base),
+        ("cosmic-ray region, naive decoding",
+         replace(base, region="centered")),
+        ("cosmic-ray region, Q3DE weighted decoding",
+         replace(base, region="centered", informed=True)),
+    ]
+    for label, spec in measurements:
+        result = campaigns.run(spec)
+        print(f"  {label:<42} p_L/run = "
+              f"{result.estimates['per_run']:.4f}   "
+              f"p_L/cycle = {result.estimates['per_cycle']:.5f}")
+    print(f"  (spec hash of the last campaign: "
+          f"{result.provenance.spec_hash}; backend "
+          f"{result.provenance.backend}, engine chunks "
+          f"{result.provenance.chunks})")
 
     print("\nStep 4: the live control unit (detection -> expand + rollback)")
     config = Q3DEConfig(distance=DISTANCE, c_win=100, n_th=8,

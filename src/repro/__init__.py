@@ -15,7 +15,11 @@ Public API highlights
   -- matching decoders over uniform or anomaly-aware distances.
 * :class:`repro.core.AnomalyDetectionUnit` -- MBBE detection (Sec. IV).
 * :class:`repro.core.Q3DEControlUnit` -- the integrated control unit.
-* :class:`repro.sim.MemoryExperiment` -- logical-error Monte Carlo.
+* :mod:`repro.campaigns` -- **the** way to run experiments: declarative
+  specs, one ``run()``, pluggable executors, checkpoint/resume
+  (``python -m repro run spec.json`` from the shell).
+* :class:`repro.sim.MemoryExperiment` -- logical-error Monte Carlo
+  (legacy shim over :mod:`repro.campaigns`).
 * :mod:`repro.scaling`, :mod:`repro.arch.throughput`, :mod:`repro.hwmodel`
   -- the Fig. 9 / Fig. 10 / Table IV evaluations.
 """
@@ -36,7 +40,10 @@ from repro.core import (
 )
 from repro.sim import MemoryExperiment
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro import campaigns  # noqa: E402  (needs __version__ for provenance)
+from repro import config  # noqa: E402
 
 __all__ = [
     "PlanarSurfaceCode",
@@ -52,5 +59,7 @@ __all__ = [
     "Q3DEControlUnit",
     "Q3DEConfig",
     "MemoryExperiment",
+    "campaigns",
+    "config",
     "__version__",
 ]

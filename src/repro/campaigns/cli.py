@@ -1,0 +1,105 @@
+"""``python -m repro`` — drive campaigns from spec files.
+
+Subcommands:
+
+* ``run SPEC.json``      — run the campaign (or sweep) and print the
+  result JSON; ``--checkpoint DIR`` turns on chunk-granular
+  checkpoint/resume, ``--executor`` picks where chunks run.
+* ``validate SPEC.json`` — parse + validate only (exit 1 on a bad spec).
+* ``hash SPEC.json``     — print the spec hash that keys checkpoints
+  and provenance.
+
+``SPEC.json`` may be ``-`` for stdin.  Executor syntax: ``inline``
+(whole-request in-process, the default), ``inline-chunked`` (kernel
+fan-out chunk size), or ``pool:N`` (process pool of N workers);
+omitted, ``REPRO_WORKERS`` decides.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.campaigns.checkpoint import CheckpointError
+from repro.campaigns.executors import (Executor, InlineExecutor,
+                                       ProcessPoolExecutor, default_executor)
+from repro.campaigns.specs import SpecError, spec_from_json, spec_hash
+
+
+def _read_spec(path: str):
+    text = sys.stdin.read() if path == "-" else open(path, encoding="utf-8").read()
+    return spec_from_json(text)
+
+
+def parse_executor(value: Optional[str]) -> Executor:
+    """Parse the ``--executor`` argument."""
+    if value is None:
+        return default_executor()
+    if value == "inline":
+        return InlineExecutor(whole_request=True)
+    if value == "inline-chunked":
+        return InlineExecutor(whole_request=False)
+    if value.startswith("pool:"):
+        return ProcessPoolExecutor(int(value.split(":", 1)[1]))
+    raise argparse.ArgumentTypeError(
+        f"unknown executor {value!r} (choices: inline, inline-chunked, "
+        "pool:N)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run Q3DE reproduction campaigns from spec files.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a campaign spec")
+    run_p.add_argument("spec", help="spec JSON path, or - for stdin")
+    run_p.add_argument("--executor", type=parse_executor, default=None,
+                       help="inline | inline-chunked | pool:N "
+                            "(default: REPRO_WORKERS)")
+    run_p.add_argument("--checkpoint", default=None, metavar="DIR",
+                       help="shard directory for chunk checkpoint/resume")
+    run_p.add_argument("--output", default="-", metavar="PATH",
+                       help="where to write the result JSON (default: stdout)")
+
+    val_p = sub.add_parser("validate", help="validate a spec file")
+    val_p.add_argument("spec", help="spec JSON path, or - for stdin")
+
+    hash_p = sub.add_parser("hash", help="print a spec's hash")
+    hash_p.add_argument("spec", help="spec JSON path, or - for stdin")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        spec = _read_spec(args.spec)
+    except OSError as exc:
+        print(f"error: cannot read spec: {exc}", file=sys.stderr)
+        return 1
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.command == "validate":
+        print(f"ok: {type(spec).__name__} ({spec_hash(spec)})")
+        return 0
+    if args.command == "hash":
+        print(spec_hash(spec))
+        return 0
+
+    from repro.campaigns.runner import run
+    try:
+        result = run(spec, executor=args.executor,
+                     checkpoint=args.checkpoint)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    text = result.to_json(indent=2)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    return 0

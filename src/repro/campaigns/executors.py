@@ -1,0 +1,166 @@
+"""The executor seam: where a campaign's chunks actually run.
+
+A campaign is a list of independent chunks ``(index, size, child
+SeedSequence)`` — independent because the per-chunk ``SeedSequence``
+contract (PR 1) makes every chunk's outcome a pure function of
+``(campaign seed, batch_size, chunk index)``, never of where or when it
+runs.  An :class:`Executor` maps that list to an in-order stream of
+``(outcome array, cache stats)``; the campaign runner does the rest
+(checkpointing, streaming estimates, early stop).
+
+Three implementations:
+
+* :class:`InlineExecutor` — this process, one chunk at a time.  With
+  ``whole_request=True`` (the default) the chunk size defaults to the
+  whole request, memory-capped by
+  :func:`repro.sim.batch.default_chunk_shots` — the modern ``workers=0``
+  path.
+* :class:`ProcessPoolExecutor` — today's :class:`~repro.sim.batch`
+  ``multiprocessing`` fan-out: per-worker kernel/decoder reuse, ordered
+  ``imap`` streaming.
+* :class:`DistributedExecutor` — the multi-host seam, interface only.
+  Subclasses implement :meth:`DistributedExecutor.dispatch`; the
+  placement-independence contract above is exactly what makes remote
+  dispatch safe (results merge by chunk index, bit-identical to a local
+  run).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.sim.batch import _batch_fn, _cache_stats, _pool_init, _pool_run
+
+
+class Executor:
+    """Maps a kernel over a campaign's chunk plan, preserving order."""
+
+    #: Short name recorded in provenance blocks.
+    name = "executor"
+
+    #: Whether an unset spec ``batch_size`` should default to the
+    #: whole request (memory-capped) rather than the kernel's small
+    #: fan-out default.  True only for the in-process path.
+    whole_request = False
+
+    def run_chunks(self, kernel, packing: str,
+                   tasks: list) -> Iterator[tuple[np.ndarray, tuple]]:
+        """Yield ``(outcomes, cache_stats)`` per task, in task order.
+
+        ``tasks`` is a list of ``(size, numpy.random.SeedSequence)``.
+        Implementations may compute lazily — the consumer stops
+        iterating when a campaign early-stops — but must preserve
+        order, and must derive each chunk's generator as
+        ``np.random.default_rng(child)`` so outcomes stay placement
+        independent.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class InlineExecutor(Executor):
+    """Run every chunk in this process, reusing one prepared kernel.
+
+    ``whole_request`` picks the unset-``batch_size`` default: ``True``
+    (default) batches the whole request per chunk (memory-capped — the
+    legacy ``workers=0`` behaviour), ``False`` keeps the kernel's small
+    fan-out chunk size (the legacy ``workers=1`` behaviour).
+    """
+
+    name = "inline"
+
+    def __init__(self, whole_request: bool = True):
+        self.whole_request = whole_request
+
+    def run_chunks(self, kernel, packing, tasks):
+        kernel.prepare()
+        run = _batch_fn(kernel, packing)
+        for size, child in tasks:
+            before = _cache_stats(kernel)
+            outcome = run(size, np.random.default_rng(child))
+            after = _cache_stats(kernel)
+            yield outcome, tuple(a - b for a, b in zip(after, before))
+
+
+class ProcessPoolExecutor(Executor):
+    """Fan chunks over a ``multiprocessing`` pool of ``workers``.
+
+    Each worker builds its kernel (and decoder, scratch arena, matching
+    cache) once and reuses it for every chunk it is handed; results
+    stream back in task order.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, workers: int):
+        if workers < 2:
+            raise ValueError(
+                "ProcessPoolExecutor needs workers >= 2; use "
+                "InlineExecutor for the in-process path")
+        self.workers = workers
+
+    def describe(self) -> str:
+        return f"{self.name}({self.workers})"
+
+    def run_chunks(self, kernel, packing, tasks):
+        with multiprocessing.Pool(self.workers, initializer=_pool_init,
+                                  initargs=(kernel, packing)) as pool:
+            yield from pool.imap(_pool_run, list(tasks))
+
+
+class DistributedExecutor(Executor):
+    """Multi-host fan-out seam (interface; transport not included).
+
+    The contract a transport must honour is small because the shot
+    engine already did the hard part:
+
+    * a chunk is fully described by ``(spec JSON, chunk index, size,
+      child SeedSequence state)`` — the kernel is rebuilt on the remote
+      host from the spec, exactly as :func:`repro.sim.batch._pool_init`
+      rebuilds it in a pool worker;
+    * outcomes are placement independent (per-chunk ``SeedSequence``,
+      PR 1), so any host may run any chunk and results merge by index,
+      bit-identical to a local run;
+    * the checkpoint shard format (:mod:`repro.campaigns.checkpoint`)
+      doubles as the wire format: a remote worker's finished chunk is
+      one JSONL record keyed by ``(spec hash, chunk index)``.
+
+    Subclasses implement :meth:`dispatch` (ship one chunk, block for its
+    record); :meth:`run_chunks` then behaves like any executor.  The
+    base class exists so campaign code can be written against the seam
+    today and pointed at a real transport when one lands (ROADMAP:
+    multi-host fan-out for the paper-scale six-day campaigns).
+    """
+
+    name = "distributed"
+
+    def dispatch(self, task_index: int, size: int,
+                 child: np.random.SeedSequence) -> tuple[np.ndarray, tuple]:
+        """Run one chunk somewhere and return ``(outcomes, cache_stats)``."""
+        raise NotImplementedError(
+            "DistributedExecutor is an interface: subclass it and "
+            "implement dispatch() over your transport")
+
+    def run_chunks(self, kernel, packing, tasks):
+        for index, (size, child) in enumerate(tasks):
+            yield self.dispatch(index, size, child)
+
+
+def default_executor(workers: Optional[int] = None) -> Executor:
+    """The executor the environment asks for (``REPRO_WORKERS``).
+
+    ``workers`` overrides the environment: ``0`` is the in-process
+    whole-request path, ``1`` the in-process fan-out-sized path, and
+    anything larger a process pool.
+    """
+    from repro import config
+    if workers is None:
+        workers = config.workers()
+    if workers > 1:
+        return ProcessPoolExecutor(workers)
+    return InlineExecutor(whole_request=(workers == 0))

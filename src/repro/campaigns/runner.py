@@ -1,0 +1,393 @@
+"""``repro.campaigns.run``: the one entry point for every experiment.
+
+``run(spec)`` dispatches through a registry keyed on the spec type, so
+new campaign kinds plug in with :func:`register_campaign` without
+touching this module.  The Monte-Carlo kinds (memory / end-to-end /
+detection) share one chunked engine: the chunk plan comes from
+:func:`repro.sim.batch.chunk_plan` (the ``(seed, batch_size)``
+reproducibility contract), chunks execute on the chosen
+:class:`~repro.campaigns.executors.Executor`, finished chunks stream
+into the same estimate/early-stop logic as
+:class:`~repro.sim.batch.BatchShotRunner`, and — when a checkpoint
+store is given — every finished chunk is durably appended to the
+spec's shard before the next one runs, so a killed campaign resumes
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.campaigns.checkpoint import CheckpointError, resolve_store
+from repro.campaigns.executors import Executor, default_executor
+from repro.campaigns.results import CampaignResult, Provenance, SweepResult
+from repro.campaigns.specs import (DetectionSpec, EndToEndSpec, MemorySpec,
+                                   ScalingSpec, Sweep, ThroughputSpec,
+                                   spec_hash)
+from repro.sim.batch import (DetectionShotKernel, EndToEndShotKernel,
+                             MemoryShotKernel, chunk_plan,
+                             default_chunk_shots, wilson_tight)
+
+#: The campaign registry: spec type -> runner callable.
+_RUNNERS: dict[type, Callable] = {}
+
+
+def register_campaign(spec_type: type):
+    """Class decorator registering a runner for a spec type.
+
+    A runner has signature ``fn(spec, executor, store) ->
+    CampaignResult``; registering a type twice replaces the runner
+    (tests use this to wrap kinds with instrumentation).
+    """
+    def decorate(fn):
+        _RUNNERS[spec_type] = fn
+        return fn
+    return decorate
+
+
+def registered_kinds() -> dict[str, type]:
+    """Wire-name -> spec type for every registered campaign kind."""
+    return {spec_type.kind: spec_type for spec_type in _RUNNERS}
+
+
+def run(spec, executor: Optional[Executor] = None, checkpoint=None):
+    """Run a campaign spec (or a :class:`Sweep` of them).
+
+    Args:
+        spec: any registered campaign spec, or a ``Sweep``.
+        executor: where chunks run (default: what ``REPRO_WORKERS``
+            asks for via
+            :func:`repro.campaigns.executors.default_executor`).
+        checkpoint: ``None``, a directory path, or a
+            :class:`~repro.campaigns.checkpoint.CheckpointStore`; when
+            given, shot-campaign chunks are durably recorded and
+            resumed on the next ``run`` of the same spec.
+
+    Returns:
+        :class:`CampaignResult`, or :class:`SweepResult` for a sweep.
+    """
+    store = resolve_store(checkpoint)
+    if executor is None:
+        executor = default_executor()
+    if isinstance(spec, Sweep):
+        return SweepResult([(overrides, run(point, executor, store))
+                            for overrides, point in spec.points()])
+    fn = _RUNNERS.get(type(spec))
+    if fn is None:
+        raise TypeError(
+            f"no campaign runner registered for {type(spec).__name__}; "
+            f"known kinds: {sorted(registered_kinds())}")
+    return fn(spec, executor, store)
+
+
+# ----------------------------------------------------------------------
+# The shared chunked engine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ChunkedOutcome:
+    outcomes: np.ndarray
+    successes: int
+    trials: int
+    cache_stats: tuple[int, int, int]
+    chunks: int
+    resumed: int
+    requested: int
+    batch_size: int
+
+
+def _run_chunked(kernel, spec, shots: int, batch_size: int,
+                 executor: Executor, store,
+                 target_rel_width: Optional[float] = None) -> _ChunkedOutcome:
+    """Execute a shot campaign chunk by chunk, resuming from its shard.
+
+    Restored and freshly computed chunks are ingested *in plan order*
+    through the same streamed-count/early-stop predicate as
+    :meth:`repro.sim.batch.BatchShotRunner.run`, so outcomes — and the
+    chunk a ``target_rel_width`` campaign stops after — are bit-equal
+    whether zero, some, or all chunks came from the checkpoint.
+    """
+    shard = store.shard(spec) if store is not None else None
+    done = {}
+    if shard is not None:
+        done = shard.load()
+        recorded = shard.recorded_batch_size
+        if recorded is not None and recorded != batch_size:
+            if spec.batch_size is not None:
+                # The spec pins its chunk size; a shard recorded under
+                # a different one is not this campaign's (the header
+                # carries no CRC, so treat a conflict as corruption).
+                raise CheckpointError(
+                    f"{shard.path}: shard records batch_size {recorded} "
+                    f"but the spec pins {spec.batch_size}")
+            # A batch_size=None spec resolves its chunk size per
+            # executor; the shard was written under another executor's
+            # resolution.  Adopt the recorded size so the plan — and
+            # hence the outcomes — match the original run exactly.
+            batch_size = recorded
+    tasks = chunk_plan(shots, batch_size, spec.seed)
+    for index in done:
+        if index >= len(tasks):
+            raise CheckpointError(
+                f"shard holds chunk {index} but the plan has only "
+                f"{len(tasks)} chunks — stale or foreign checkpoint")
+        if len(done[index][0]) != tasks[index][0]:
+            raise CheckpointError(
+                f"shard chunk {index} holds {len(done[index][0])} shots "
+                f"but the plan expects {tasks[index][0]}")
+
+    pending = [(i, task) for i, task in enumerate(tasks) if i not in done]
+    stream = (executor.run_chunks(kernel, spec.packing,
+                                  [task for _, task in pending])
+              if pending else None)
+
+    collected: list[np.ndarray] = []
+    successes = trials = 0
+    cache_stats = np.zeros(3, dtype=np.int64)
+    chunks = resumed = 0
+    column = getattr(kernel, "success_column", 0)
+    try:
+        for index in range(len(tasks)):
+            if index in done:
+                outcome, stats = done[index]
+                resumed += 1
+            else:
+                outcome, stats = next(stream)
+                if shard is not None:
+                    shard.append(index, outcome, stats,
+                                 batch_size=batch_size)
+            collected.append(outcome)
+            cache_stats += np.asarray(stats, dtype=np.int64)
+            chunks += 1
+            col = outcome if outcome.ndim == 1 else outcome[:, column]
+            successes += int(np.count_nonzero(col))
+            trials += len(outcome)
+            if wilson_tight(successes, trials, target_rel_width):
+                break
+    finally:
+        if stream is not None:
+            stream.close()
+
+    return _ChunkedOutcome(
+        outcomes=np.concatenate(collected),
+        successes=successes,
+        trials=trials,
+        cache_stats=tuple(int(c) for c in cache_stats),
+        chunks=chunks,
+        resumed=resumed,
+        requested=shots,
+        batch_size=batch_size,
+    )
+
+
+def _provenance(spec, executor: Executor, started: float,
+                packing: Optional[str] = None,
+                batch_size: Optional[int] = None,
+                chunks: int = 0, resumed: int = 0) -> Provenance:
+    import repro
+    from repro.sim import backend
+    return Provenance(
+        spec_hash=spec_hash(spec),
+        kind=spec.kind,
+        seed=spec.seed,
+        backend=backend.name,
+        version=repro.__version__,
+        executor=executor.describe(),
+        wall_clock_s=time.perf_counter() - started,
+        packing=packing,
+        batch_size=batch_size,
+        chunks=chunks,
+        resumed_chunks=resumed,
+    )
+
+
+def _engine_counts(co: _ChunkedOutcome) -> dict:
+    hits, misses, evictions = co.cache_stats
+    return {"requested": co.requested, "cache_hits": hits,
+            "cache_misses": misses, "cache_evictions": evictions}
+
+
+# ----------------------------------------------------------------------
+# Campaign kinds
+# ----------------------------------------------------------------------
+@register_campaign(MemorySpec)
+def _run_memory(spec: MemorySpec, executor: Executor,
+                store) -> CampaignResult:
+    from repro.sim.memory import LogicalErrorEstimate
+    started = time.perf_counter()
+    kernel = MemoryShotKernel(
+        spec.distance, spec.p, region=spec.resolve_region(),
+        p_ano=spec.p_ano, decoder=spec.decoder, informed=spec.informed,
+        cycles=spec.cycles, decode=spec.decode)
+    if spec.batch_size is not None:
+        batch_size = spec.batch_size
+    elif executor.whole_request:
+        # Whole request per chunk, shrunk so the error tensors
+        # (~cycles * d^2 elements per shot) stay inside the budget —
+        # the same resolution the other shot kinds use.
+        batch_size = default_chunk_shots(
+            spec.samples,
+            kernel.cycles * spec.distance * spec.distance)
+    else:
+        batch_size = kernel.default_batch_size
+    co = _run_chunked(kernel, spec, spec.samples, batch_size, executor,
+                      store, target_rel_width=spec.target_rel_width)
+    detail = LogicalErrorEstimate(co.successes, co.trials, kernel.cycles)
+    return CampaignResult(
+        kind=spec.kind,
+        estimates={
+            "per_run": detail.per_run,
+            "per_cycle": detail.per_cycle,
+            "per_cycle_std_error": detail.per_cycle_std_error,
+            "std_error": detail.estimate.std_error,
+        },
+        counts={"failures": co.successes, "samples": co.trials,
+                **_engine_counts(co)},
+        provenance=_provenance(spec, executor, started,
+                               packing=spec.packing,
+                               batch_size=co.batch_size,
+                               chunks=co.chunks, resumed=co.resumed),
+        detail=detail,
+    )
+
+
+@register_campaign(EndToEndSpec)
+def _run_endtoend(spec: EndToEndSpec, executor: Executor,
+                  store) -> CampaignResult:
+    from repro.sim.endtoend import EndToEndResult
+    started = time.perf_counter()
+    kernel = EndToEndShotKernel(
+        spec.distance, spec.p, spec.p_ano, spec.anomaly_size, spec.onset,
+        spec.cycles, spec.c_win, spec.n_th, spec.alpha, decode=spec.decode)
+    if spec.batch_size is not None:
+        batch_size = spec.batch_size
+    elif executor.whole_request:
+        batch_size = default_chunk_shots(
+            spec.shots,
+            spec.cycles * (spec.distance - 1) * spec.distance)
+    else:
+        batch_size = kernel.default_batch_size
+    co = _run_chunked(kernel, spec, spec.shots, batch_size, executor, store)
+    out = co.outcomes
+    latencies = out[out[:, 3] >= 0, 3]
+    detail = EndToEndResult(
+        shots=len(out),
+        naive_failures=int(out[:, 0].sum()),
+        detected_failures=int(out[:, 1].sum()),
+        oracle_failures=int(out[:, 2].sum()),
+        detections=int(len(latencies)),
+        mean_latency=(float(latencies.mean()) if len(latencies)
+                      else float("nan")),
+    )
+    return CampaignResult(
+        kind=spec.kind,
+        estimates={**{f"{name}_rate": value
+                      for name, value in detail.rates().items()},
+                   "detection_rate": detail.detection_rate,
+                   "mean_latency": detail.mean_latency},
+        counts={"shots": detail.shots,
+                "naive_failures": detail.naive_failures,
+                "detected_failures": detail.detected_failures,
+                "oracle_failures": detail.oracle_failures,
+                "detections": detail.detections,
+                **_engine_counts(co)},
+        provenance=_provenance(spec, executor, started,
+                               packing=spec.packing,
+                               batch_size=co.batch_size,
+                               chunks=co.chunks, resumed=co.resumed),
+        detail=detail,
+    )
+
+
+@register_campaign(DetectionSpec)
+def _run_detection(spec: DetectionSpec, executor: Executor,
+                   store) -> CampaignResult:
+    from repro.sim.detection import DetectionPerformance
+    started = time.perf_counter()
+    normal_cycles, post_cycles = spec.resolved_cycles()
+    kernel = DetectionShotKernel(
+        spec.distance, spec.p, spec.p_ano, spec.anomaly_size, spec.c_win,
+        spec.n_th, spec.alpha, normal_cycles, post_cycles, scan=spec.scan)
+    if spec.batch_size is not None:
+        batch_size = spec.batch_size
+    elif executor.whole_request:
+        total = normal_cycles + post_cycles
+        batch_size = default_chunk_shots(
+            spec.trials, total * (spec.distance - 1) * spec.distance)
+    else:
+        batch_size = kernel.default_batch_size
+    co = _run_chunked(kernel, spec, spec.trials, batch_size, executor, store)
+    out = co.outcomes
+    latencies = out[out[:, 2] >= 0, 2]
+    errors = out[np.isfinite(out[:, 3]), 3]
+    detail = DetectionPerformance(
+        trials=len(out),
+        false_positives=int(out[:, 0].sum()),
+        detections=int(out[:, 1].sum()),
+        mean_latency=(float(latencies.mean()) if len(latencies)
+                      else float("nan")),
+        mean_position_error=(float(errors.mean()) if len(errors)
+                             else float("nan")),
+    )
+    return CampaignResult(
+        kind=spec.kind,
+        estimates={"false_positive_rate": detail.false_positive_rate,
+                   "miss_rate": detail.miss_rate,
+                   "mean_latency": detail.mean_latency,
+                   "mean_position_error": detail.mean_position_error},
+        counts={"trials": detail.trials,
+                "false_positives": detail.false_positives,
+                "detections": detail.detections,
+                **_engine_counts(co)},
+        provenance=_provenance(spec, executor, started,
+                               packing=spec.packing,
+                               batch_size=co.batch_size,
+                               chunks=co.chunks, resumed=co.resumed),
+        detail=detail,
+    )
+
+
+@register_campaign(ScalingSpec)
+def _run_scaling(spec: ScalingSpec, executor: Executor,
+                 store) -> CampaignResult:
+    from repro.scaling.model import ScalingParameters, density_curve
+    started = time.perf_counter()
+    params = ScalingParameters(
+        anomaly_size=spec.anomaly_size, frequency_hz=spec.frequency_hz,
+        lifetime_s=spec.lifetime_s, c_lat=spec.c_lat,
+        horizon_cycles=spec.horizon_cycles)
+    curve = density_curve(params, list(spec.areas), spec.use_q3de,
+                          seed=spec.seed)
+    return CampaignResult(
+        kind=spec.kind,
+        estimates={f"density_area_{area:g}": value
+                   for area, value in zip(spec.areas, curve)},
+        counts={"areas": len(spec.areas),
+                "achievable": sum(v is not None for v in curve)},
+        provenance=_provenance(spec, executor, started),
+        detail=curve,
+    )
+
+
+@register_campaign(ThroughputSpec)
+def _run_throughput(spec: ThroughputSpec, executor: Executor,
+                    store) -> CampaignResult:
+    from repro.arch.throughput import simulate_throughput
+    started = time.perf_counter()
+    detail = simulate_throughput(
+        spec.architecture, spec.num_instructions,
+        strike_prob_per_slot=spec.strike_prob_per_slot,
+        strike_duration_slots=spec.strike_duration_slots,
+        rows=spec.rows, cols=spec.cols,
+        rng=np.random.default_rng(spec.seed), max_slots=spec.max_slots)
+    return CampaignResult(
+        kind=spec.kind,
+        estimates={"throughput": detail.throughput},
+        counts={"instructions": detail.instructions,
+                "slots": detail.slots, "strikes": detail.strikes},
+        provenance=_provenance(spec, executor, started),
+        detail=detail,
+    )

@@ -1,0 +1,108 @@
+"""One home for the ``REPRO_*`` environment knobs.
+
+Before the unified campaign API every entry point read its own slice of
+the environment: the benches parsed ``REPRO_WORKERS`` / ``REPRO_SAMPLES``
+/ ``REPRO_SCALE`` / ``REPRO_JSON`` / ``REPRO_JSON_DIR`` in
+``benchmarks/_common.py`` while :mod:`repro.sim.backend` read
+``REPRO_BACKEND`` at import.  This module is now the single reader; the
+values are resolved *at call time* — spec resolution, bench start —
+never cached at import, so a test or driver can flip the environment and
+see the change.
+
+Documented defaults
+-------------------
+
+===================  =========  =============================================
+variable             default    meaning
+===================  =========  =============================================
+``REPRO_WORKERS``    ``0``      shot-engine parallelism: ``0`` = the
+                                whole-request in-process path (what
+                                ``campaigns.run`` uses when unset), ``1`` =
+                                the in-process fan-out-chunked path, ``> 1``
+                                = a process pool of that size.  The bench
+                                harness (``benchmarks/_common.mc_workers``)
+                                passes its own historical default of ``1``.
+``REPRO_BACKEND``    ``numpy``  array backend for the packed kernels
+                                (``cupy`` is experimental and falls back
+                                with a warning)
+``REPRO_SAMPLES``    ``200``    Monte-Carlo samples per bench data point
+``REPRO_SCALE``      ``1.0``    multiplier on all bench workload sizes
+``REPRO_JSON``       ``1``      benches merge machine-readable sections into
+                                ``BENCH_<name>.json``; ``0`` disables
+``REPRO_JSON_DIR``   bench dir  where those JSON files land
+===================  =========  =============================================
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+#: The environment variables this module owns.
+ENV_WORKERS = "REPRO_WORKERS"
+ENV_BACKEND = "REPRO_BACKEND"
+ENV_SAMPLES = "REPRO_SAMPLES"
+ENV_SCALE = "REPRO_SCALE"
+ENV_JSON = "REPRO_JSON"
+ENV_JSON_DIR = "REPRO_JSON_DIR"
+
+#: Values of boolean-ish variables read as "off".
+_FALSY = ("0", "false", "no", "off", "")
+
+
+def workers(default: int = 0) -> int:
+    """Shot-engine worker count (``REPRO_WORKERS``), floored at 0.
+
+    The implicit default (0, the in-process whole-request path) is what
+    :func:`repro.campaigns.executors.default_executor` resolves to when
+    the variable is unset, so an unset environment and an explicit
+    ``REPRO_WORKERS=0`` behave identically.
+    """
+    return max(0, int(os.environ.get(ENV_WORKERS, default)))
+
+
+def backend(default: str = "numpy") -> str:
+    """Requested array backend name (``REPRO_BACKEND``), lowercased.
+
+    Resolution (existence of CuPy, device probing, fallback warnings)
+    stays in :func:`repro.sim.backend.select_backend`; this is only the
+    environment read.
+    """
+    return (os.environ.get(ENV_BACKEND, default) or default).strip().lower() \
+        or default
+
+
+def samples(default: int = 200) -> int:
+    """Samples per Monte-Carlo bench point, scaled by :func:`scale`."""
+    return max(1, int(float(os.environ.get(ENV_SAMPLES, default)) * scale()))
+
+
+def scale(default: float = 1.0) -> float:
+    """Global bench workload multiplier (``REPRO_SCALE``)."""
+    return float(os.environ.get(ENV_SCALE, default))
+
+
+def json_enabled(argv: Optional[Sequence[str]] = None) -> bool:
+    """Whether benches should write their machine-readable JSON.
+
+    ``--json`` in ``argv`` forces it on regardless of the environment.
+    """
+    if argv is not None and "--json" in argv:
+        return True
+    return os.environ.get(ENV_JSON, "1").strip().lower() not in _FALSY
+
+
+def json_dir(default: str) -> str:
+    """Directory for ``BENCH_<name>.json`` files (``REPRO_JSON_DIR``)."""
+    return os.environ.get(ENV_JSON_DIR, default)
+
+
+def snapshot() -> dict:
+    """The resolved knob values, for provenance blocks and debugging."""
+    return {
+        "workers": workers(),
+        "backend": backend(),
+        "samples": samples(),
+        "scale": scale(),
+        "json": json_enabled(),
+    }

@@ -14,13 +14,21 @@ from repro.sim.batch import (
     BatchRunResult,
     BatchShotRunner,
     DECODE_MODES,
-    DetectionTrialKernel,
+    DetectionShotKernel,
     EndToEndShotKernel,
     MatchingCache,
     MemoryShotKernel,
     PACKING_MODES,
 )
 from repro.sim import bitops
+
+
+def __getattr__(name: str):
+    """Deprecated-name access: ``DetectionTrialKernel`` warns on use."""
+    if name == "DetectionTrialKernel":
+        from repro.sim import batch
+        return batch.DetectionTrialKernel  # emits the DeprecationWarning
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "backend",
@@ -30,7 +38,10 @@ __all__ = [
     "DECODE_MODES",
     "PACKING_MODES",
     "bitops",
-    "DetectionTrialKernel",
+    "DetectionShotKernel",
+    # "DetectionTrialKernel" resolves via __getattr__ with a
+    # DeprecationWarning; deliberately NOT in __all__ so that
+    # star-imports don't warn (PEP 562 deprecation pattern).
     "EndToEndShotKernel",
     "MemoryShotKernel",
     "BinomialEstimate",

@@ -33,13 +33,16 @@ Helpers:
 
 from __future__ import annotations
 
-import os
 import warnings
 
 import numpy
 
-#: Environment variable holding the backend choice.
-ENV_VAR = "REPRO_BACKEND"
+from repro import config
+
+#: Environment variable holding the backend choice (owned, like every
+#: ``REPRO_*`` knob, by :mod:`repro.config`; kept here as a re-export
+#: for callers that referenced it).
+ENV_VAR = config.ENV_BACKEND
 
 #: Recognized backend names.
 BACKENDS = ("numpy", "cupy")
@@ -76,7 +79,7 @@ def select_backend(requested: str | None = None) -> str:
     """
     global xp, name, _cupy
     if requested is None:
-        requested = os.environ.get(ENV_VAR, "numpy")
+        requested = config.backend()
     requested = (requested or "numpy").strip().lower() or "numpy"
     if requested not in BACKENDS:
         warnings.warn(

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -100,6 +101,50 @@ def default_chunk_shots(shots: int, per_shot_elements: int) -> int:
     """
     cap = max(1, MAX_CHUNK_ELEMENTS // max(1, per_shot_elements))
     return max(1, min(shots, MAX_CHUNK_SHOTS, cap))
+
+
+def chunk_plan(shots: int,
+               batch_size: int,
+               seed: Optional[int]) -> list[tuple[int, np.random.SeedSequence]]:
+    """The campaign's chunk decomposition: ``(size, child seed)`` pairs.
+
+    This is *the* reproducibility contract of the shot engine: one
+    :class:`numpy.random.SeedSequence` spawns a child per chunk, so a
+    campaign's outcomes depend only on ``(seed, batch_size)`` — never on
+    the worker count, scheduling, or on which chunks were restored from
+    a checkpoint.  :class:`BatchShotRunner` and the campaign layer
+    (:mod:`repro.campaigns`) must build their plans through this one
+    function so they can never drift apart.
+    """
+    if shots < 1:
+        raise ValueError("need at least one shot")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    sizes = [batch_size] * (shots // batch_size)
+    if shots % batch_size:
+        sizes.append(shots % batch_size)
+    children = np.random.SeedSequence(seed).spawn(len(sizes))
+    return list(zip(sizes, children))
+
+
+def wilson_tight(successes: int, trials: int,
+                 target_rel_width: Optional[float],
+                 min_shots: int = 0) -> bool:
+    """The shot engine's early-stop predicate.
+
+    True once the Wilson interval of the streamed success count is
+    narrower than ``target_rel_width`` times its mean (and at least
+    ``min_shots`` and one shot have been ingested).  Shared by
+    :meth:`BatchShotRunner.run` and the campaign layer so a resumed
+    campaign stops after exactly the same chunk as an uninterrupted one.
+    """
+    if target_rel_width is None or trials < max(min_shots, 1):
+        return False
+    if successes == 0:
+        return False
+    lo, hi = wilson_interval(successes, trials)
+    mean = successes / trials
+    return (hi - lo) <= target_rel_width * mean
 
 
 # ----------------------------------------------------------------------
@@ -795,8 +840,17 @@ class DetectionShotKernel:
         return out
 
 
-#: Pre-PR-4 name of :class:`DetectionShotKernel`, kept for callers.
-DetectionTrialKernel = DetectionShotKernel
+def __getattr__(name: str):
+    """Deprecated-name access (module-level ``__getattr__``, PEP 562)."""
+    if name == "DetectionTrialKernel":
+        # Pre-PR-4 name of DetectionShotKernel, kept for callers.
+        warnings.warn(
+            "DetectionTrialKernel was renamed DetectionShotKernel; the "
+            "alias will be removed once downstream callers migrate "
+            "(prefer repro.campaigns.DetectionSpec for whole campaigns)",
+            DeprecationWarning, stacklevel=2)
+        return DetectionShotKernel
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # ----------------------------------------------------------------------
@@ -892,11 +946,7 @@ class BatchShotRunner:
 
     # ------------------------------------------------------------------
     def _batches(self, shots: int) -> list[tuple[int, np.random.SeedSequence]]:
-        sizes = [self.batch_size] * (shots // self.batch_size)
-        if shots % self.batch_size:
-            sizes.append(shots % self.batch_size)
-        children = np.random.SeedSequence(self.seed).spawn(len(sizes))
-        return list(zip(sizes, children))
+        return chunk_plan(shots, self.batch_size, self.seed)
 
     def run(self, shots: int,
             target_rel_width: Optional[float] = None,
@@ -916,15 +966,6 @@ class BatchShotRunner:
         successes = trials = 0
         cache_stats = np.zeros(3, dtype=np.int64)
 
-        def tight_enough() -> bool:
-            if target_rel_width is None or trials < max(min_shots, 1):
-                return False
-            if successes == 0:
-                return False
-            lo, hi = wilson_interval(successes, trials)
-            mean = successes / trials
-            return (hi - lo) <= target_rel_width * mean
-
         def ingest(batch: np.ndarray) -> bool:
             nonlocal successes, trials
             collected.append(batch)
@@ -932,7 +973,8 @@ class BatchShotRunner:
                 else batch[:, self.kernel.success_column]
             successes += int(np.count_nonzero(column))
             trials += len(batch)
-            return tight_enough()
+            return wilson_tight(successes, trials, target_rel_width,
+                                min_shots)
 
         if self.workers <= 1:
             self.kernel.prepare()

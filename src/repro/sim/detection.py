@@ -96,6 +96,13 @@ def run_detection_trials(
 ) -> DetectionPerformance:
     """Stream trials through the detection unit and aggregate outcomes.
 
+    This is now a thin shim over the unified campaign API — the batched
+    path builds a :class:`repro.campaigns.DetectionSpec` and calls
+    :func:`repro.campaigns.run`, so its results are bit-identical per
+    ``(seed, batch_size)`` to the pre-redesign ``BatchShotRunner`` path
+    and to a directly run spec.  Prefer the campaign API for new code
+    (sweeps, executors, checkpoint/resume, provenance).
+
     Each trial: ``normal_cycles`` of anomaly-free operation (any flag here
     is a false positive), then an MBBE appears at a random position and
     runs for ``post_cycles`` (no flag here is a miss).  The batched
@@ -108,36 +115,23 @@ def run_detection_trials(
     batches over a process pool.  ``engine="reference"`` keeps the
     original per-cycle streaming loop through the
     :class:`AnomalyDetectionUnit` — the certified reference the
-    equivalence suite scores the batched scan against.
+    equivalence suite scores the batched scan against.  *Deprecated as
+    an application path*: it survives only for the equivalence suite
+    and will not grow campaign features.
     """
     if engine not in ("batched", "reference"):
         raise ValueError("engine must be 'batched' or 'reference'")
     if engine == "batched":
-        from repro.sim.batch import (BatchShotRunner, DetectionShotKernel,
-                                     default_chunk_shots)
-        kernel = DetectionShotKernel(
-            distance, p, p_ano, anomaly_size, c_win, n_th, alpha,
-            normal_cycles if normal_cycles is not None else 2 * c_win,
-            post_cycles if post_cycles is not None else 4 * c_win)
-        batch_size = None
-        if workers == 0:
-            total = kernel.normal_cycles + kernel.post_cycles
-            batch_size = default_chunk_shots(
-                trials, total * (distance - 1) * distance)
-        runner = BatchShotRunner(kernel, workers=workers, seed=seed,
-                                 batch_size=batch_size, packing=packing)
-        out = runner.run(trials).outcomes
-        latencies_arr = out[out[:, 2] >= 0, 2]
-        errors_arr = out[np.isfinite(out[:, 3]), 3]
-        return DetectionPerformance(
-            trials=len(out),
-            false_positives=int(out[:, 0].sum()),
-            detections=int(out[:, 1].sum()),
-            mean_latency=(float(latencies_arr.mean()) if len(latencies_arr)
-                          else float("nan")),
-            mean_position_error=(float(errors_arr.mean()) if len(errors_arr)
-                                 else float("nan")),
-        )
+        from repro import campaigns
+        if seed is None:
+            seed = int(np.random.default_rng().integers(2 ** 63))
+        spec = campaigns.DetectionSpec(
+            distance=distance, p=p, p_ano=p_ano,
+            anomaly_size=anomaly_size, c_win=c_win, n_th=n_th,
+            alpha=alpha, trials=trials, normal_cycles=normal_cycles,
+            post_cycles=post_cycles, seed=seed, packing=packing)
+        executor = campaigns.default_executor(workers)
+        return campaigns.run(spec, executor=executor).detail
 
     rng = np.random.default_rng(seed)
     stats = calibrated_statistics(p)

@@ -192,6 +192,14 @@ class EndToEndExperiment:
             engine: str = "batched") -> EndToEndResult:
         """Run the campaign and aggregate failure rates.
 
+        This is now a thin shim over the unified campaign API — the
+        batched path builds a :class:`repro.campaigns.EndToEndSpec` and
+        calls :func:`repro.campaigns.run`, so its results are
+        bit-identical per ``(seed, batch_size)`` to the pre-redesign
+        ``BatchShotRunner`` path and to a directly run spec.  Prefer the
+        campaign API for new code (sweeps, executors, checkpoint/resume,
+        provenance).
+
         The batched shot engine (region-bucketed decoding, bit-packed
         sampling by default — ``packing="bits"`` is outcome-identical
         to the ``"none"`` float reference per ``(seed, batch_size)``)
@@ -206,8 +214,10 @@ class EndToEndExperiment:
 
         ``engine="reference"`` keeps the original per-cycle
         :meth:`run_shot` loop — the certified reference the
-        equivalence suite scores the batched engine against (slow; it
-        streams ``rng`` shot by shot and ignores the engine knobs).
+        equivalence suite scores the batched engine against.
+        *Deprecated as an application path*: it is slow, streams ``rng``
+        shot by shot, ignores the engine knobs, and survives only for
+        the equivalence suite; it will not grow campaign features.
         """
         if shots < 1:
             raise ValueError("need at least one shot")
@@ -235,28 +245,14 @@ class EndToEndExperiment:
                               else float("nan")),
             )
 
-        from repro.sim.batch import (BatchShotRunner, EndToEndShotKernel,
-                                     default_chunk_shots)
+        from repro import campaigns
         if seed is None:
             seed = int(rng.integers(2 ** 63))
-        if batch_size is None and workers == 0:
-            batch_size = default_chunk_shots(
-                shots,
-                self.cycles * (self.distance - 1) * self.distance)
-        kernel = EndToEndShotKernel(
-            self.distance, self.p, self.p_ano, self.anomaly_size,
-            self.onset, self.cycles, self.c_win, self.n_th, self.alpha)
-        runner = BatchShotRunner(kernel, workers=workers,
-                                 batch_size=batch_size, seed=seed,
-                                 packing=packing)
-        out = runner.run(shots).outcomes
-        latencies_arr = out[out[:, 3] >= 0, 3]
-        return EndToEndResult(
-            shots=len(out),
-            naive_failures=int(out[:, 0].sum()),
-            detected_failures=int(out[:, 1].sum()),
-            oracle_failures=int(out[:, 2].sum()),
-            detections=int(len(latencies_arr)),
-            mean_latency=(float(latencies_arr.mean()) if len(latencies_arr)
-                          else float("nan")),
-        )
+        spec = campaigns.EndToEndSpec(
+            distance=self.distance, p=self.p, shots=shots,
+            p_ano=self.p_ano, anomaly_size=self.anomaly_size,
+            onset=self.onset, cycles=self.cycles, c_win=self.c_win,
+            n_th=self.n_th, alpha=self.alpha, seed=seed,
+            batch_size=batch_size, packing=packing)
+        executor = campaigns.default_executor(workers)
+        return campaigns.run(spec, executor=executor).detail

@@ -134,6 +134,16 @@ class MemoryExperiment:
             ) -> LogicalErrorEstimate:
         """Estimate the logical failure rate over ``samples`` shots.
 
+        This is now a thin shim over the unified campaign API — the
+        ``workers >= 1`` path builds a
+        :class:`repro.campaigns.MemorySpec` and calls
+        :func:`repro.campaigns.run`, so its results are bit-identical
+        per ``(seed, batch_size)`` to both the pre-redesign
+        ``BatchShotRunner`` path and a directly run spec.  Prefer the
+        campaign API for new code: it adds sweeps, pluggable executors,
+        checkpoint/resume and provenance that this signature cannot
+        express.
+
         ``workers = 0`` (default) runs the original sequential per-shot
         path.  ``workers >= 1`` runs the batched shot engine
         (:mod:`repro.sim.batch`): bit-packed sampling and word-wise
@@ -152,18 +162,17 @@ class MemoryExperiment:
             failures = sum(self.run_once(rng) for _ in range(samples))
             return LogicalErrorEstimate(failures, samples, self.cycles)
 
-        from repro.sim.batch import BatchShotRunner, MemoryShotKernel
+        from repro import campaigns
         if seed is None:
             seed = int(rng.integers(2 ** 63))
-        kernel = MemoryShotKernel(
-            self.distance, self.p, region=self.region, p_ano=self.p_ano,
-            decoder=self.decoder, informed=self.informed, cycles=self.cycles)
-        runner = BatchShotRunner(kernel, workers=workers,
-                                 batch_size=batch_size, seed=seed,
-                                 packing=packing)
-        result = runner.run(samples, target_rel_width=target_rel_width)
-        return LogicalErrorEstimate(result.estimate.successes,
-                                    result.estimate.trials, self.cycles)
+        spec = campaigns.MemorySpec(
+            distance=self.distance, p=self.p, samples=samples,
+            region=self.region, p_ano=self.p_ano, decoder=self.decoder,
+            informed=self.informed, cycles=self.cycles, seed=seed,
+            batch_size=batch_size, target_rel_width=target_rel_width,
+            packing=packing)
+        executor = campaigns.default_executor(workers)
+        return campaigns.run(spec, executor=executor).detail
 
 
 def logical_error_rate(

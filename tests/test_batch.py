@@ -15,7 +15,7 @@ from repro.noise import AnomalousRegion, PhenomenologicalNoise
 from repro.sim import bitops
 from repro.sim.batch import (
     BatchShotRunner,
-    DetectionTrialKernel,
+    DetectionShotKernel,
     EndToEndShotKernel,
     MatchingCache,
     MemoryShotKernel,
@@ -325,9 +325,9 @@ class TestPackedKernelEquivalence:
 
     @pytest.mark.parametrize("distance", [3, 5])
     def test_detection_kernel(self, distance):
-        kernel = DetectionTrialKernel(distance, 2e-3, 0.05, anomaly_size=2,
-                                      c_win=40, n_th=3, alpha=0.01,
-                                      normal_cycles=80, post_cycles=160)
+        kernel = DetectionShotKernel(distance, 2e-3, 0.05, anomaly_size=2,
+                                     c_win=40, n_th=3, alpha=0.01,
+                                     normal_cycles=80, post_cycles=160)
         kernel.prepare()
         ref = kernel.run_batch(17, np.random.default_rng(5))
         packed = kernel.run_batch_packed(17, np.random.default_rng(5))

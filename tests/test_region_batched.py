@@ -17,8 +17,7 @@ from repro.decoding.batched import (ScratchArena, _float_bucket_parities,
 from repro.decoding.greedy import greedy_cut_parity
 from repro.decoding.weights import DistanceModel, region_signature
 from repro.noise.models import AnomalousRegion
-from repro.sim.batch import (DetectionShotKernel, DetectionTrialKernel,
-                             EndToEndShotKernel)
+from repro.sim.batch import DetectionShotKernel, EndToEndShotKernel
 from repro.sim.detection import run_detection_trials
 from repro.sim.endtoend import EndToEndExperiment
 
@@ -239,8 +238,13 @@ class TestDetectionKernelScanModes:
                               equal_nan=True)
         assert outs["batched"][:, 0].sum() > 0  # the sweep has FPs
 
-    def test_legacy_name_still_resolves(self):
-        assert DetectionTrialKernel is DetectionShotKernel
+    def test_legacy_name_still_resolves_with_deprecation(self):
+        from repro.sim import batch
+        with pytest.warns(DeprecationWarning, match="DetectionShotKernel"):
+            assert batch.DetectionTrialKernel is DetectionShotKernel
+        import repro.sim
+        with pytest.warns(DeprecationWarning, match="DetectionShotKernel"):
+            assert repro.sim.DetectionTrialKernel is DetectionShotKernel
 
     def test_bad_scan_mode_rejected(self):
         with pytest.raises(ValueError):
