@@ -96,12 +96,12 @@ def print_table(title: str, header: Iterable[str],
     for row in str_rows:
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
-    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths, strict=True))
     print(f"\n=== {title} ===")
     print(line)
     print("-" * len(line))
     for row in str_rows:
-        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
 
 
 def _fmt(cell) -> str:

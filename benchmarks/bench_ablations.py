@@ -11,6 +11,7 @@
 """
 
 import math
+import time
 
 import numpy as np
 import pytest
@@ -19,7 +20,7 @@ from repro.arch.buffers import optimal_batch_cycles
 from repro.sim.endtoend import EndToEndExperiment
 from repro.sim.memory import logical_error_rate
 
-from _common import mc_samples, mc_workers, print_table
+from _common import emit_json, mc_samples, mc_workers, print_table
 
 
 def total_buffer_bits(node_count: int, c_win: int, c_bat: int) -> float:
@@ -43,6 +44,12 @@ def bench_ablation_batch_size(benchmark):
                 ["c_bat", "total bits"],
                 [[c, f"{bits:,.0f}"] for c, bits in curve])
     best_cbat = min(curve, key=lambda cb: cb[1])[0]
+
+    emit_json("batch", "ablation_batch_size", {
+        "buffer_bits": {f"c_bat_{c:03d}": bits for c, bits in curve},
+        "optimal_c_bat": optimal_batch_cycles(c_win),
+        "c_win": c_win,
+    })
     assert best_cbat == optimal_batch_cycles(c_win)
 
 
@@ -53,6 +60,7 @@ def bench_ablation_decoder_family(benchmark):
     d, ps = 7, [8e-3, 1.5e-2, 2.5e-2]
 
     def run():
+        start = time.perf_counter()
         rows = []
         for p in ps:
             greedy = logical_error_rate(d, p, samples, decoder="greedy",
@@ -62,11 +70,21 @@ def bench_ablation_decoder_family(benchmark):
                                        seed=32,
                                        workers=mc_workers()).per_cycle
             rows.append([p, greedy, exact])
-        return rows
+        return rows, time.perf_counter() - start
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows, wall = benchmark.pedantic(run, rounds=1, iterations=1)
     print_table(f"Ablation: decoder accuracy (d={d})",
                 ["p", "greedy p_L/cycle", "MWPM p_L/cycle"], rows)
+
+    emit_json("batch", "ablation_decoder_family", {
+        "per_cycle_rates": {
+            f"d{d}_p{p}_{name}": rate
+            for p, greedy, exact in rows
+            for name, rate in (("greedy", greedy), ("mwpm", exact))
+        },
+        "samples_per_point": samples,
+        "wall_clock_s": wall,
+    })
     # Exact matching never loses to greedy beyond sampling noise.
     for _, greedy, exact in rows:
         assert exact <= greedy + 3.0 / (samples * d)
@@ -80,10 +98,12 @@ def bench_ablation_detected_vs_oracle(benchmark):
                              cycles=300, c_win=80, n_th=8)
 
     def run():
-        return exp.run(shots, np.random.default_rng(7),
-                       workers=mc_workers())
+        start = time.perf_counter()
+        out = exp.run(shots, np.random.default_rng(7),
+                      workers=mc_workers())
+        return out, time.perf_counter() - start
 
-    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    res, wall = benchmark.pedantic(run, rounds=1, iterations=1)
     rates = res.rates()
     print_table(
         "Ablation: exposure-window failure rate by decoding knowledge",
@@ -93,6 +113,14 @@ def bench_ablation_detected_vs_oracle(benchmark):
          ["oracle region", rates["oracle"]],
          ["detection rate", res.detection_rate],
          ["mean latency (cycles)", res.mean_latency]])
+
+    emit_json("batch", "ablation_detected_vs_oracle", {
+        "failure_rates": dict(rates),
+        "detection_rate": res.detection_rate,
+        "mean_latency_cycles": res.mean_latency,
+        "shots": shots,
+        "wall_clock_s": wall,
+    })
     assert res.detection_rate > 0.7
     assert rates["detected"] <= rates["naive"] + 0.05
 

@@ -172,11 +172,13 @@ def bench_packed_sampling_stage(benchmark):
                 d, p, 0.5, AnomalousRegion.centered(d, ANOMALY_SIZE))
             lattice = SyndromeLattice(d)
             flt_t, flt_peak = _time_and_peak(
-                lambda r: _float_stage(noise, lattice, shots, d,
-                                       np.random.default_rng(r)))
+                lambda r, noise=noise, lattice=lattice, d=d:
+                    _float_stage(noise, lattice, shots, d,
+                                 np.random.default_rng(r)))
             bit_t, bit_peak = _time_and_peak(
-                lambda r: _packed_stage(noise, lattice, shots, d,
-                                        np.random.default_rng(r)))
+                lambda r, noise=noise, lattice=lattice, d=d:
+                    _packed_stage(noise, lattice, shots, d,
+                                  np.random.default_rng(r)))
             float_total += flt_t
             packed_total += bit_t
             mem_ratios.append(flt_peak / bit_peak)

@@ -63,7 +63,7 @@ def bench_fig8_rollback_improvement(benchmark):
         "per_cycle_rates": {
             f"dano{d_ano}_d{d}_p{p}_{kind}": rate
             for (d_ano, d, p), rates in table.items()
-            for kind, rate in zip(("free", "naive", "rollback"), rates)},
+            for kind, rate in zip(("free", "naive", "rollback"), rates, strict=True)},
     })
     for d_ano in ANOMALY_SIZES:
         rows = []

@@ -61,7 +61,7 @@ def bench_fig9_anomaly_size_panel(benchmark):
         "required_density": {
             f"{'q3de' if q else 'base'}_s{s}_area{a:g}": value
             for q in (True, False) for s in sizes
-            for a, value in zip(AREAS, curve(q, s))},
+            for a, value in zip(AREAS, curve(q, s), strict=True)},
     })
     rows = []
     for i, area in enumerate(AREAS):
@@ -77,7 +77,7 @@ def bench_fig9_anomaly_size_panel(benchmark):
                 header, rows)
 
     for size in sizes:
-        for q, b in zip(curve(True, size), curve(False, size)):
+        for q, b in zip(curve(True, size), curve(False, size), strict=True):
             if q is not None and b is not None:
                 assert q <= b * 1.01
 
@@ -145,7 +145,7 @@ def bench_fig9_frequency_panel(benchmark):
 
     # Q3DE advantage shrinks as rays get rarer.
     for freq in frequencies:
-        for q, b in zip(curve(True, freq), curve(False, freq)):
+        for q, b in zip(curve(True, freq), curve(False, freq), strict=True):
             if q is not None and b is not None:
                 assert q <= b * 1.01
 

@@ -9,7 +9,7 @@ import pytest
 
 from repro.arch.memory_overhead import MemoryOverheadModel
 
-from _common import print_table
+from _common import emit_json, print_table
 
 PAPER_KBIT = {
     "syndrome_queue": 623.0,
@@ -32,6 +32,14 @@ def bench_table3_memory_overheads(benchmark):
     print_table("Table III: memory per logical qubit (d=31, c_win=300)",
                 ["unit", "measured kbit", "paper kbit"], rows)
 
+    emit_json("batch", "table3_memory", {
+        "kbit": dict(rows_kbit),
+        "baseline_syndrome_queue_kbit":
+            model.baseline_syndrome_queue_bits() / 1000,
+        # x-baseline factor, deliberately not named *_ratio: it is a
+        # fixed closed form, not a perf bar the comparator should gate.
+        "syndrome_overhead_x": model.overhead_ratio(),
+    })
     for unit, kbit in rows_kbit.items():
         assert kbit == pytest.approx(PAPER_KBIT[unit], rel=0.05)
     assert model.overhead_ratio() == pytest.approx(10, rel=0.15)

@@ -19,7 +19,7 @@ from repro.hwmodel.resources import (
     required_anq_entries,
 )
 
-from _common import print_table
+from _common import emit_json, print_table
 
 CONFIGS = [(40, False), (40, True), (80, False), (80, True)]
 
@@ -32,7 +32,7 @@ def bench_table4_resource_model(benchmark):
     rows = benchmark(build)
     paper = paper_table4_rows()
     table = []
-    for ours, ref in zip(rows, paper):
+    for ours, ref in zip(rows, paper, strict=True):
         table.append([ours["config"], ours["FF"], ref["FF"], ours["LUT"],
                       ref["LUT"], ours["throughput"], ref["throughput"]])
     print_table(
@@ -41,7 +41,21 @@ def bench_table4_resource_model(benchmark):
          "match/us", "match/us(paper)"],
         table)
 
-    for ours, ref in zip(rows, paper):
+    emit_json("batch", "table4_resources", {
+        # Per-config structural costs; matches/us keys avoid the
+        # comparator's directional vocabulary (closed-form model
+        # numbers, not an engine bar).
+        "configs": {
+            ours["config"].replace(" ", "_"): {
+                "ff": ours["FF"],
+                "lut": ours["LUT"],
+                "matches_per_us": ours["throughput"],
+            }
+            for ours in rows
+        },
+        "lut_overhead_x_e40": lut_overhead_ratio(40),
+    })
+    for ours, ref in zip(rows, paper, strict=True):
         assert ours["FF"] == pytest.approx(ref["FF"], rel=0.05)
         assert ours["LUT"] == pytest.approx(ref["LUT"], rel=0.05)
         assert ours["throughput"] == pytest.approx(
@@ -61,6 +75,10 @@ def bench_table4_anq_sizing(benchmark):
                 ["design point", "entries", "paper"],
                 [["p=1e-4, d=15", small, "~30"],
                  ["p=1e-3, d=31", large, "~70"]])
+
+    emit_json("batch", "table4_anq_sizing", {
+        "entries": {"p1e-4_d15": small, "p1e-3_d31": large},
+    })
     assert small < large
 
 
@@ -77,6 +95,13 @@ def bench_table4_software_matching_throughput(benchmark):
         ["implementation", "matches/s"],
         [["software (this host)", f"{rate:.0f}"],
          ["modelled FPGA @400 MHz", f"{est.matches_per_us * 1e6:.0f}"]])
+
+    emit_json("batch", "table4_sw_matching", {
+        # Host-dependent measurement: drift-class key on purpose so
+        # compare_bench reports (not gates) cross-machine movement.
+        "sw_matches_per_sec": rate,
+        "modelled_matches_per_us": est.matches_per_us,
+    })
     assert rate > 0
 
 

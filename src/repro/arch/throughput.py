@@ -76,6 +76,8 @@ def simulate_throughput(
     """
     if architecture not in ("mbbe_free", "baseline", "q3de"):
         raise ValueError(f"unknown architecture {architecture!r}")
+    # reprolint: disable=RL001 -- rng=None is the caller's explicit
+    # opt-out of reproducibility; campaigns always pass a seeded rng
     rng = rng if rng is not None else np.random.default_rng()
     plane = QubitPlane(rows, cols)
     latency = 2 if architecture == "baseline" else 1

@@ -84,7 +84,7 @@ class InlineExecutor(Executor):
             before = _cache_stats(kernel)
             outcome = run(size, np.random.default_rng(child))
             after = _cache_stats(kernel)
-            yield outcome, tuple(a - b for a, b in zip(after, before))
+            yield outcome, tuple(a - b for a, b in zip(after, before, strict=True))
 
 
 class ProcessPoolExecutor(Executor):

@@ -364,7 +364,7 @@ def _run_scaling(spec: ScalingSpec, executor: Executor,
     return CampaignResult(
         kind=spec.kind,
         estimates={f"density_area_{area:g}": value
-                   for area, value in zip(spec.areas, curve)},
+                   for area, value in zip(spec.areas, curve, strict=True)},
         counts={"areas": len(spec.areas),
                 "achievable": sum(v is not None for v in curve)},
         provenance=_provenance(spec, executor, started),

@@ -317,7 +317,7 @@ class Sweep:
         """Yield ``(overrides, spec)`` per grid point, in grid order."""
         names = list(self.axes)
         for combo in itertools.product(*(self.axes[n] for n in names)):
-            overrides = dict(zip(names, combo))
+            overrides = dict(zip(names, combo, strict=True))
             spec = dataclasses.replace(self.base, **overrides)
             if self.derive_seeds:
                 spec = dataclasses.replace(

@@ -540,7 +540,7 @@ def _decode_engine(model: DistanceModel, nodes_list: list, arena: ScratchArena,
     b_l = acc_b[order].tolist()
     w_l = acc_lvl[order].tolist()
     out_lists = pre_pairs
-    for s, a, b, w in zip(shot_l, a_l, b_l, w_l):
+    for s, a, b, w in zip(shot_l, a_l, b_l, w_l, strict=True):
         out_lists[s].append((a, b, float(w)))
     return parities, out_lists
 
@@ -631,7 +631,7 @@ def _accept(levels, matched, S_all, nmax, parities, arena, collect):
             taken: set = set()
             add = taken.add
             acc_list = []
-            for k, (a, b) in enumerate(zip(ga.tolist(), gb.tolist())):
+            for k, (a, b) in enumerate(zip(ga.tolist(), gb.tolist(), strict=True)):
                 if a in taken or b in taken:
                     continue
                 add(a)
@@ -746,7 +746,7 @@ def batched_cut_parities(model: DistanceModel, nodes_list: list,
             ((_greedy_fast_core(model, nodes, False)[1] & 1)
              for nodes in sub_nodes), dtype=np.int8, count=len(sub_nodes))
 
-    for p, slots, key in zip(parities.tolist(), sub_slots, sub_keys):
+    for p, slots, key in zip(parities.tolist(), sub_slots, sub_keys, strict=True):
         for s in slots:
             out[s] = p
         if key is not None:
@@ -860,7 +860,7 @@ def batched_region_cut_parities(distance: int, regions: list,
                  else DistanceModel(distance))
         par = batched_cut_parities(model, [sub_nodes[p] for p in positions],
                                    arena=arena)
-        for p, v in zip(positions, par.tolist()):
+        for p, v in zip(positions, par.tolist(), strict=True):
             out[sub_idx[p]] = v
     return out
 
@@ -903,12 +903,12 @@ def batched_decode(model: DistanceModel, nodes_list: list,
                 eligible = False
                 break
     if not eligible:
-        for s, nodes in zip(sub_idx, sub_nodes):
+        for s, nodes in zip(sub_idx, sub_nodes, strict=True):
             results[s] = greedy_decode_fast(model, nodes)
         return results
 
     _, accepted = _decode_engine(model, sub_nodes, arena, True, allc)
-    for s, acc in zip(sub_idx, accepted):
+    for s, acc in zip(sub_idx, accepted, strict=True):
         matches = [Match(int(a), int(b)) for a, b, _ in acc]
         weight = 0.0
         for _, _, w in acc:

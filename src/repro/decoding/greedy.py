@@ -82,7 +82,7 @@ def _greedy_fast_core(model: DistanceModel, nodes: np.ndarray,
             starts = np.flatnonzero(
                 np.r_[True, reps_sorted[1:] != reps_sorted[:-1]])
             ends = np.r_[starts[1:], len(grouped)]
-            for lo_idx, hi_idx in zip(starts.tolist(), ends.tolist()):
+            for lo_idx, hi_idx in zip(starts.tolist(), ends.tolist(), strict=True):
                 members = grouped[lo_idx:hi_idx]
                 for k in range(0, len(members) - 1, 2):
                     a, b = int(members[k]), int(members[k + 1])
@@ -115,7 +115,7 @@ def _greedy_fast_core(model: DistanceModel, nodes: np.ndarray,
     north = 0
     weight = 0.0
     remaining = n - 2 * len(zero_pairs)
-    for a, b, w in zip(a_s, b_s, w_s):
+    for a, b, w in zip(a_s, b_s, w_s, strict=True):
         if taken[a]:
             continue
         if b >= 0:  # node-node candidate

@@ -139,6 +139,8 @@ def ion_trap_processes(rows: int, cols: int,
     ``cycle_s`` converts per-second physics to per-cycle rates (ion code
     cycles are ~100 us, not the 1 us of superconducting qubits).
     """
+    # reprolint: disable=RL001 -- rng=None is the caller's explicit
+    # opt-out of reproducibility (exploratory use; no campaign runs this)
     rng = rng if rng is not None else np.random.default_rng()
     sites = rows * cols
     per_site_loss_hz = 1.0 / (14 * 86_400)      # once per two weeks

@@ -249,7 +249,7 @@ class PhenomenologicalNoise:
             t_lo, t_hi = max(0, t_lo), min(cycles, t_hi)
             if t_hi > t_lo:
                 span = t_hi - t_lo
-                for arr, mask in zip(packed, self._masks):
+                for arr, mask in zip(packed, self._masks, strict=True):
                     k = int(mask.sum())
                     for w0, nw, n in blocks():
                         arr[w0:w0 + nw, t_lo:t_hi][:, :, mask] = pack_shots(

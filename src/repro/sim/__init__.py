@@ -22,14 +22,6 @@ from repro.sim.batch import (
 )
 from repro.sim import bitops
 
-
-def __getattr__(name: str):
-    """Deprecated-name access: ``DetectionTrialKernel`` warns on use."""
-    if name == "DetectionTrialKernel":
-        from repro.sim import batch
-        return batch.DetectionTrialKernel  # emits the DeprecationWarning
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
 __all__ = [
     "backend",
     "BatchRunResult",
@@ -39,9 +31,6 @@ __all__ = [
     "PACKING_MODES",
     "bitops",
     "DetectionShotKernel",
-    # "DetectionTrialKernel" resolves via __getattr__ with a
-    # DeprecationWarning; deliberately NOT in __all__ so that
-    # star-imports don't warn (PEP 562 deprecation pattern).
     "EndToEndShotKernel",
     "MemoryShotKernel",
     "BinomialEstimate",

@@ -51,7 +51,6 @@ from __future__ import annotations
 
 import math
 import multiprocessing
-import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -124,7 +123,7 @@ def chunk_plan(shots: int,
     if shots % batch_size:
         sizes.append(shots % batch_size)
     children = np.random.SeedSequence(seed).spawn(len(sizes))
-    return list(zip(sizes, children))
+    return list(zip(sizes, children, strict=True))
 
 
 def wilson_tight(successes: int, trials: int,
@@ -236,7 +235,7 @@ def _overwrite_anomalous(v: np.ndarray, h: np.ndarray, m: np.ndarray,
     if t_hi <= t_lo:
         return
     span = t_hi - t_lo
-    for arr, mask in zip((v, h, m), masks):
+    for arr, mask in zip((v, h, m), masks, strict=True):
         arr[shot, t_lo:t_hi][:, mask] = (
             rng.random((span, int(mask.sum()))) < p_ano)
 
@@ -260,7 +259,7 @@ def _overwrite_anomalous_packed(v: np.ndarray, h: np.ndarray, m: np.ndarray,
     span = t_hi - t_lo
     w, b = divmod(shot, bitops.WORD_BITS)
     bit = np.uint64(1) << np.uint64(b)
-    for arr, mask in zip((v, h, m), masks):
+    for arr, mask in zip((v, h, m), masks, strict=True):
         bits = rng.random((span, int(mask.sum()))) < p_ano
         view = arr[w, t_lo:t_hi]
         current = view[:, mask]
@@ -840,19 +839,6 @@ class DetectionShotKernel:
         return out
 
 
-def __getattr__(name: str):
-    """Deprecated-name access (module-level ``__getattr__``, PEP 562)."""
-    if name == "DetectionTrialKernel":
-        # Pre-PR-4 name of DetectionShotKernel, kept for callers.
-        warnings.warn(
-            "DetectionTrialKernel was renamed DetectionShotKernel; the "
-            "alias will be removed once downstream callers migrate "
-            "(prefer repro.campaigns.DetectionSpec for whole campaigns)",
-            DeprecationWarning, stacklevel=2)
-        return DetectionShotKernel
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
 # ----------------------------------------------------------------------
 # Worker-pool plumbing
 # ----------------------------------------------------------------------
@@ -880,7 +866,7 @@ def _pool_run(task) -> tuple[np.ndarray, tuple[int, int, int]]:
     before = _cache_stats(_WORKER_KERNEL)
     batch = _WORKER_RUN(shots, np.random.default_rng(seed))
     after = _cache_stats(_WORKER_KERNEL)
-    return batch, tuple(a - b for a, b in zip(after, before))
+    return batch, tuple(a - b for a, b in zip(after, before, strict=True))
 
 
 # ----------------------------------------------------------------------

@@ -124,6 +124,9 @@ def run_detection_trials(
     if engine == "batched":
         from repro import campaigns
         if seed is None:
+            # reprolint: disable=RL001 -- seed=None is the legacy API's
+            # explicit opt-out; the drawn seed lands in the spec so the
+            # run is still replayable from its provenance block
             seed = int(np.random.default_rng().integers(2 ** 63))
         spec = campaigns.DetectionSpec(
             distance=distance, p=p, p_ano=p_ano,

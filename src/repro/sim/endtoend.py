@@ -221,6 +221,8 @@ class EndToEndExperiment:
         """
         if shots < 1:
             raise ValueError("need at least one shot")
+        # reprolint: disable=RL001 -- rng=None is the caller's explicit
+        # opt-out of reproducibility; campaigns always pass a seeded rng
         rng = rng if rng is not None else np.random.default_rng()
         if engine not in ("batched", "reference"):
             raise ValueError("engine must be 'batched' or 'reference'")

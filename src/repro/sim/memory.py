@@ -157,6 +157,8 @@ class MemoryExperiment:
         """
         if samples < 1:
             raise ValueError("need at least one sample")
+        # reprolint: disable=RL001 -- rng=None is the caller's explicit
+        # opt-out of reproducibility; campaigns always pass a seeded rng
         rng = rng if rng is not None else np.random.default_rng()
         if workers == 0:
             failures = sum(self.run_once(rng) for _ in range(samples))

@@ -99,7 +99,7 @@ class Pauli:
         """Render as a string, including a sign/phase prefix."""
         prefix = {0: "+", 1: "i", 2: "-", 3: "-i"}[self.phase]
         body = "".join(
-            _XZ_TO_CHAR[(int(a), int(b))] for a, b in zip(self.x, self.z)
+            _XZ_TO_CHAR[(int(a), int(b))] for a, b in zip(self.x, self.z, strict=True)
         )
         return prefix + body
 

@@ -42,6 +42,8 @@ class StabilizerSimulator:
         for i in range(n):
             self.x[i, i] = 1
             self.z[n + i, i] = 1
+        # reprolint: disable=RL001 -- rng=None is the caller's explicit
+        # opt-out of reproducibility (didactic tableau; not campaign-run)
         self.rng = rng if rng is not None else np.random.default_rng()
 
     # ------------------------------------------------------------------

@@ -1,7 +1,16 @@
 """Shared fixtures for the test suite."""
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
+
+# The reprolint package lives under tools/ (it is a dev tool, not part
+# of the shipped repro package); make it importable for its test suite.
+_TOOLS_DIR = str(Path(__file__).resolve().parents[1] / "tools")
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
 
 
 @pytest.fixture

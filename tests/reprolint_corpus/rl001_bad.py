@@ -1,0 +1,23 @@
+"""RL001 corpus: every way to smuggle entropy past the seed contract.
+
+Each marked line must produce exactly one RL001 diagnostic.
+"""
+
+import numpy as np
+import numpy.random as npr
+from numpy.random import default_rng
+
+
+def legacy_global_state():
+    np.random.seed(1234)              # RL001: hidden global RNG
+    x = np.random.rand(4)             # RL001: hidden global RNG
+    np.random.shuffle(x)              # RL001: hidden global RNG
+    return npr.randint(0, 7)          # RL001: via the module alias
+
+
+def entropy_seeded():
+    a = np.random.default_rng()       # RL001: argless -> OS entropy
+    b = default_rng()                 # RL001: argless via direct import
+    c = np.random.SeedSequence()      # RL001: argless SeedSequence
+    d = np.random.Generator(np.random.PCG64())   # RL001: argless PCG64
+    return a, b, c, d

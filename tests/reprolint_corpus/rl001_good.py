@@ -1,0 +1,21 @@
+"""RL001 corpus twin: the same jobs done with threaded seeds."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def threaded_streams(seed: int):
+    root = np.random.SeedSequence(seed)
+    streams = [np.random.default_rng(child)
+               for child in root.spawn(4)]
+    extra = default_rng(root.spawn(1)[0])
+    bitgen = np.random.Generator(np.random.PCG64(1234))
+    return streams, extra, bitgen
+
+
+def generator_methods(rng: np.random.Generator):
+    # Methods on a threaded Generator are fine — only the hidden
+    # global-state module functions are banned.
+    x = rng.random(4)
+    rng.shuffle(x)
+    return rng.integers(0, 7)

@@ -1,0 +1,26 @@
+"""RL002 corpus: a seam-routed kernel touching host NumPy directly.
+
+The corpus manifest scopes ``*_packed`` and ``pack_lanes`` and allows
+only ``np.packbits`` as a documented host fast path.
+"""
+
+import numpy as np
+
+from repro.sim import backend
+
+
+def xor_scan_packed(words):
+    acc = np.bitwise_xor.accumulate(words, axis=0)   # RL002: host-pinned
+    return np.moveaxis(acc, 0, -1)                   # RL002: host-pinned
+
+
+def pack_lanes(bits):
+    lanes = np.ascontiguousarray(bits)               # RL002: host-pinned
+    return np.packbits(lanes, axis=-1)               # allowed fast path
+
+
+def host_summary(words):
+    # Not seam-scoped: plain host helper, free to use numpy.
+    xp = backend.get_array_module(words)
+    del xp
+    return np.count_nonzero(words)

@@ -1,0 +1,24 @@
+"""RL002 corpus twin: the same kernels through the backend seam."""
+
+import numpy as np
+
+from repro.sim import backend
+
+
+def xor_scan_packed(words):
+    acc = backend.xor_accumulate(words, axis=0)
+    xp = backend.get_array_module(acc)
+    return xp.moveaxis(acc, 0, -1)
+
+
+def pack_lanes(bits):
+    xp = backend.get_array_module(bits)
+    if xp is np:
+        return np.packbits(bits, axis=-1)  # documented host fast path
+    out = xp.zeros(bits.shape[:-1], dtype=xp.uint64)
+    return out
+
+
+def host_summary(words):
+    # Not seam-scoped: plain host helper, free to use numpy.
+    return np.count_nonzero(words)

@@ -1,0 +1,44 @@
+"""RL004 corpus: registered spec classes that break the wire contract."""
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.campaigns import register_campaign
+
+
+@dataclass
+class MutableSpec:                        # RL004: not frozen
+    kind = "corpus-mutable"
+    distance: int
+    p: float
+
+
+class BareSpec:                           # RL004: not a dataclass at all
+    kind = "corpus-bare"
+
+
+@dataclass(frozen=True)
+class LeakySpec:
+    kind = "corpus-leaky"
+    distance: int
+    payload: Any                          # RL004: erases the wire schema
+    nodes: set                            # RL004: nondeterministic order
+    raw: np.ndarray                       # RL004: no JSON round-trip
+    extra: Optional[bytes] = None         # RL004: no JSON encoding
+
+
+@register_campaign(MutableSpec)
+def _run_mutable(spec, executor, store):
+    return None
+
+
+@register_campaign(BareSpec)
+def _run_bare(spec, executor, store):
+    return None
+
+
+@register_campaign(LeakySpec)
+def _run_leaky(spec, executor, store):
+    return None

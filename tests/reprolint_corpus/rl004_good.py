@@ -1,0 +1,32 @@
+"""RL004 corpus twin: frozen, JSON-round-trippable registered specs."""
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.campaigns import register_campaign
+from repro.noise.models import AnomalousRegion
+
+
+@dataclass(frozen=True)
+class CleanSpec:
+    kind = "corpus-clean"
+
+    distance: int
+    p: float
+    region: Union[AnomalousRegion, str, None] = None
+    cycles: Optional[int] = None
+    areas: tuple[float, ...] = (1.0, 2.0)
+    axes: dict = field(default_factory=dict)
+    label: "str" = "x"
+
+
+@dataclass
+class NotASpec:
+    """Mutable and un-serializable — but never registered, so exempt."""
+
+    anything: object = None
+
+
+@register_campaign(CleanSpec)
+def _run_clean(spec, executor, store):
+    return None

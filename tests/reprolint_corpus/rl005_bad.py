@@ -1,0 +1,26 @@
+"""RL005 corpus: a checkpoint wire module gone wrong."""
+
+import json
+import pickle                                  # RL005: arbitrary code
+import time
+from datetime import datetime
+
+
+def write_record(fh, outcome, meta):
+    record = {
+        "data": pickle.dumps(outcome),
+        "written_at": time.time(),             # RL005: wall clock
+        "stamp": datetime.now().isoformat(),   # RL005: wall clock
+    }
+    fh.write(json.dumps(record))
+
+
+def load_record(line: str):
+    return eval(line)                          # RL005: evaluated payload
+
+
+def chunk_order(indices):
+    out = []
+    for index in set(indices):                 # RL005: set order
+        out.append(index)
+    return list(set(out))                      # RL005: set order

@@ -1,0 +1,25 @@
+"""RL005 corpus twin: the same wire module, deterministic and safe."""
+
+import json
+import zlib
+
+
+def write_record(fh, outcome, meta):
+    payload = json.dumps([outcome, meta], sort_keys=True,
+                         separators=(",", ":"))
+    record = {
+        "data": payload,
+        "crc": zlib.crc32(payload.encode("utf-8")),
+    }
+    fh.write(json.dumps(record, sort_keys=True))
+
+
+def load_record(line: str):
+    return json.loads(line)
+
+
+def chunk_order(indices):
+    out = []
+    for index in sorted(set(indices)):   # sorted(): order pinned
+        out.append(index)
+    return sorted(set(out))

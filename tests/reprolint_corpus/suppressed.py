@@ -1,0 +1,29 @@
+"""Suppression-semantics corpus.
+
+* A justified trailing suppression silences its own line.
+* A justified standalone suppression silences the next code line, and
+  the justification may wrap onto further comment lines.
+* An unjustified suppression silences nothing and is itself an RL000.
+* A suppression for the wrong rule id does not apply.
+"""
+
+import numpy as np
+
+
+def justified_trailing():
+    return np.random.default_rng()  # reprolint: disable=RL001 -- corpus: caller opted out
+
+
+def justified_standalone():
+    # reprolint: disable=RL001 -- corpus: caller opted out of
+    # reproducibility, wrapped onto a second comment line
+    return np.random.default_rng()
+
+
+def unjustified():
+    return np.random.default_rng()  # reprolint: disable=RL001
+
+
+def wrong_rule():
+    # reprolint: disable=RL003 -- corpus: wrong rule id on purpose
+    return np.random.default_rng()

@@ -213,7 +213,7 @@ class TestPackedSampling:
             ref = noise.sample_batch(shots, 6, np.random.default_rng(42))
             packed = noise.sample_batch_packed(
                 shots, 6, np.random.default_rng(42))
-            for a, b in zip(ref, packed):
+            for a, b in zip(ref, packed, strict=True):
                 assert b.dtype == np.uint64
                 assert np.array_equal(bitops.unpack_shots(b, shots), a), \
                     (shots, distance, region)
@@ -227,7 +227,7 @@ class TestPackedSampling:
         ref = noise.sample_batch(shots, 4, np.random.default_rng(8))
         packed = noise.sample_batch_packed(shots, 4,
                                            np.random.default_rng(8))
-        for a, b in zip(ref, packed):
+        for a, b in zip(ref, packed, strict=True):
             assert np.array_equal(bitops.unpack_shots(b, shots), a)
 
     def test_rejects_zero_shots(self, rng):

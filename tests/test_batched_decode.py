@@ -59,7 +59,7 @@ class TestBatchedEquivalence:
         got = batched_cut_parities(model, nodes_list, arena=arena)
         assert np.array_equal(ref, got)
         full = batched_decode(model, nodes_list, arena=arena)
-        for nodes, res in zip(nodes_list, full):
+        for nodes, res in zip(nodes_list, full, strict=True):
             exp = greedy_decode_fast(model, nodes)
             assert exp.matches == res.matches
             assert exp.weight == pytest.approx(res.weight, abs=1e-12)

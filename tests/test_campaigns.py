@@ -449,7 +449,7 @@ class TestChunkPlan:
     def test_plan_seed_children_are_stable(self):
         a = chunk_plan(64, 16, 5)
         b = chunk_plan(64, 16, 5)
-        for (_, ca), (_, cb) in zip(a, b):
+        for (_, ca), (_, cb) in zip(a, b, strict=True):
             assert np.array_equal(ca.generate_state(4), cb.generate_state(4))
 
     def test_plan_rejects_bad_inputs(self):

@@ -25,7 +25,7 @@ from repro.sim.endtoend import EndToEndExperiment
 def _reference(distance, regions, nodes_list, w_ano):
     """The certified per-shot path, one model per shot."""
     out = []
-    for reg, nodes in zip(regions, nodes_list):
+    for reg, nodes in zip(regions, nodes_list, strict=True):
         model = (DistanceModel(distance, reg, w_ano) if reg is not None
                  else DistanceModel(distance))
         out.append(greedy_cut_parity(model, nodes))
@@ -238,13 +238,14 @@ class TestDetectionKernelScanModes:
                               equal_nan=True)
         assert outs["batched"][:, 0].sum() > 0  # the sweep has FPs
 
-    def test_legacy_name_still_resolves_with_deprecation(self):
+    def test_legacy_name_is_retired(self):
+        """The DetectionTrialKernel alias (deprecated in PR 5) is gone."""
         from repro.sim import batch
-        with pytest.warns(DeprecationWarning, match="DetectionShotKernel"):
-            assert batch.DetectionTrialKernel is DetectionShotKernel
+        with pytest.raises(AttributeError):
+            batch.DetectionTrialKernel
         import repro.sim
-        with pytest.warns(DeprecationWarning, match="DetectionShotKernel"):
-            assert repro.sim.DetectionTrialKernel is DetectionShotKernel
+        with pytest.raises(AttributeError):
+            repro.sim.DetectionTrialKernel
 
     def test_bad_scan_mode_rejected(self):
         with pytest.raises(ValueError):

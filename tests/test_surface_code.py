@@ -126,7 +126,7 @@ class TestDecodingCoords:
         for q, site in enumerate(code.data_sites):
             err = Pauli.single(code.num_data_qubits, q, "X")
             flipped = [anc for anc, stab in
-                       zip(code.z_ancilla_sites, code.z_stabilizer_paulis())
+                       zip(code.z_ancilla_sites, code.z_stabilizer_paulis(), strict=True)
                        if not stab.commutes_with(err)]
             expected = [anc for anc in code.z_ancilla_sites
                         if site in anc.neighbors()]

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m reprolint``."""
+
+import sys
+
+from reprolint.cli import main
+
+sys.exit(main())
