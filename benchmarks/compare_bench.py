@@ -9,10 +9,14 @@ tolerance:
 
 * higher-is-better — keys containing ``speedup``, ``throughput`` or
   ``ratio``: regression when ``fresh < base * (1 - tolerance)``;
-* lower-is-better — wall clocks (``wall_clock*`` or ``*_s`` keys):
-  regression when ``fresh > base * (1 + tolerance)``.  Wall clocks are
-  machine-dependent, so they only participate with ``--all-metrics``;
-  the default run judges the (machine-robust) ratio metrics.
+* lower-is-better — wall clocks (``wall_clock*`` or ``*_s`` keys) and
+  latencies (``*_us``/``*_ms`` leaves and percentile-prefixed latency
+  keys such as ``p99_round_latency_us``): regression when
+  ``fresh > base * (1 + tolerance)``.  These are machine-dependent, so
+  they only participate with ``--all-metrics``; the default run judges
+  the (machine-robust) ratio metrics.  Rate-style ``*_per_us`` leaves
+  (``matches_per_us``) are throughput-shaped domain values, not
+  latencies, and are untouched by this class.
 * certification booleans (``*_bit_equal`` flags): any flip off the
   baseline's ``true`` is a regression at every setting.
 
@@ -48,6 +52,14 @@ HIGHER_BETTER = ("speedup", "throughput")
 #: ``ratio_<n>`` style sweep label) is domain data, not a bar.
 _RATIO_KEY = re.compile(r"ratio(_min|_max)?($|[.\[])")
 LOWER_BETTER = ("wall_clock",)
+#: Lower-is-better latency leaves: explicit sub-second unit suffixes
+#: (``*_us``/``*_ms``) and percentile-prefixed latency keys
+#: (``p50_round_latency_us``).  The ``(?<!per)`` lookbehind keeps
+#: rate-style ``*_per_us`` leaves (``matches_per_us`` — a throughput)
+#: out; ``*_latency_cycles`` (fig07) has no unit suffix and stays
+#: domain drift — detection latency in cycles is seed-determined, not
+#: machine-dependent.
+_LATENCY_LEAF = re.compile(r"(?<!per)_(us|ms)$|^p\d{1,3}_\w*latency")
 
 
 def classify(path: str) -> str:
@@ -55,10 +67,12 @@ def classify(path: str) -> str:
 
     The key families are disjoint by construction:
     ``*_ratio``/``speedup_*``/``*throughput*`` are engine bars,
-    ``wall_clock_s``/``*_s`` are timings, the rest is domain.
+    ``wall_clock_s``/``*_s``/``*_us``/``p99_*latency*`` are timings,
+    the rest is domain.
     """
     leaf = path.rsplit(".", 1)[-1]
-    if any(tag in path for tag in LOWER_BETTER) or leaf.endswith("_s"):
+    if (any(tag in path for tag in LOWER_BETTER) or leaf.endswith("_s")
+            or _LATENCY_LEAF.search(leaf)):
         return "lower"
     if any(tag in path for tag in HIGHER_BETTER) \
             or _RATIO_KEY.search(path):

@@ -35,10 +35,11 @@ from repro.campaigns.executors import (DistributedExecutor, Executor,
 from repro.campaigns.results import CampaignResult, Provenance, SweepResult
 from repro.campaigns.runner import register_campaign, registered_kinds, run
 from repro.campaigns.specs import (CampaignSpec, DetectionSpec, EndToEndSpec,
-                                   MemorySpec, ScalingSpec, SpecError, Sweep,
-                                   ThroughputSpec, derive_seed,
-                                   spec_from_dict, spec_from_json, spec_hash,
-                                   spec_to_dict, spec_to_json)
+                                   MemorySpec, ScalingSpec, SpecError,
+                                   StreamingSpec, Sweep, ThroughputSpec,
+                                   derive_seed, spec_from_dict,
+                                   spec_from_json, spec_hash, spec_to_dict,
+                                   spec_to_json)
 
 __all__ = [
     "CampaignResult",
@@ -56,6 +57,7 @@ __all__ = [
     "ScalingSpec",
     "ShardFile",
     "SpecError",
+    "StreamingSpec",
     "Sweep",
     "SweepResult",
     "ThroughputSpec",

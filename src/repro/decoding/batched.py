@@ -865,6 +865,21 @@ def batched_region_cut_parities(distance: int, regions: list,
     return out
 
 
+def streaming_cut_parity(distance: int, region, nodes: np.ndarray,
+                         w_ano: float = 0.0,
+                         arena: Optional[ScratchArena] = None) -> int:
+    """North-cut parity of one streamed shot under an optional region.
+
+    The online driver's decode entry point
+    (:mod:`repro.streaming.driver`): a single-shot call into the
+    region-bucketed engine, so the streaming path and the batched
+    campaign path share one decode implementation — and, via ``arena``,
+    one reusable scratch allocation across a trial sequence.
+    """
+    return int(batched_region_cut_parities(distance, [region], [nodes],
+                                           w_ano, arena=arena)[0])
+
+
 def batched_decode(model: DistanceModel, nodes_list: list,
                    arena: Optional[ScratchArena] = None
                    ) -> list[DecodeResult]:

@@ -9,6 +9,13 @@ module is the production hot path:
   NumPy calls (:meth:`PhenomenologicalNoise.sample_batch`,
   :meth:`SyndromeLattice.detection_events_batch`).
 
+* **Staged pipelines** — each kernel's run is a
+  :class:`repro.sim.stages.ShotPipeline` over the composable stage seam
+  (``sample → extract → detect → decode → accumulate``); the kernels
+  own configuration, scan tails and decode strategy, the stages own the
+  batch dataflow, and partial runs (``pipeline().run_until(...)``)
+  expose any seam for benchmarking or testing.
+
 * **Cross-shot batched decode** — the greedy matchings of a chunk run
   through :mod:`repro.decoding.batched`: shots bucketed by active-node
   count, bucket-wide distance tensors, one flattened candidate sort and
@@ -58,17 +65,27 @@ import numpy as np
 
 from repro.core.statistics import (SyndromeStatistics, detection_threshold,
                                    expected_activity_rate)
-from repro.decoding.batched import (ScratchArena, batched_cut_parities,
-                                    batched_region_cut_parities)
+from repro.decoding.batched import ScratchArena, batched_cut_parities
 from repro.decoding.graph import SyndromeLattice
 from repro.decoding.greedy import greedy_cut_parity
 from repro.decoding.mwpm import MWPMDecoder
 from repro.decoding.weights import DistanceModel, relative_anomalous_weight
-from repro.noise.models import (AnomalousRegion, PhenomenologicalNoise,
-                                build_anomalous_masks)
+from repro.noise.models import AnomalousRegion, PhenomenologicalNoise
 from repro.sim import bitops
 from repro.sim.endtoend import estimate_strike_region
 from repro.sim.montecarlo import BinomialEstimate, wilson_interval
+from repro.sim.stages import (DetectionExtractStage, DetectionSampleStage,
+                              DetectionScoreStage, EndToEndAccumulateStage,
+                              EndToEndDecodeStage, EndToEndDetectStage,
+                              EndToEndExtractStage, EndToEndSampleStage,
+                              MemoryAccumulateStage, MemoryDecodeStage,
+                              MemoryExtractStage, MemorySampleStage,
+                              ShotPipeline, StageContext, StageState)
+# The per-shot anomalous overwrites moved to the stage seam; re-exported
+# here because they are part of this module's long-standing test surface.
+from repro.sim.stages import _overwrite_anomalous as _overwrite_anomalous
+from repro.sim.stages import (
+    _overwrite_anomalous_packed as _overwrite_anomalous_packed)
 
 #: Recognized values of the shot-engine ``packing`` knob.
 PACKING_MODES = ("bits", "none")
@@ -218,54 +235,6 @@ def _cache_stats(kernel) -> tuple[int, int, int]:
     return cache.stats() if cache is not None else (0, 0, 0)
 
 
-def _overwrite_anomalous(v: np.ndarray, h: np.ndarray, m: np.ndarray,
-                         shot: int, region: AnomalousRegion,
-                         distance: int, p_ano: float,
-                         rng: np.random.Generator) -> None:
-    """Resample one shot's error arrays at ``p_ano`` inside ``region``.
-
-    The batched kernels draw the whole batch at the base rate first;
-    per-shot regions then only touch their own cells, mirroring
-    ``PhenomenologicalNoise.sample`` with that region.
-    """
-    masks = build_anomalous_masks(distance, region)
-    cycles = v.shape[1]
-    t_hi = region.t_hi if region.t_hi is not None else cycles
-    t_lo, t_hi = max(0, region.t_lo), min(cycles, t_hi)
-    if t_hi <= t_lo:
-        return
-    span = t_hi - t_lo
-    for arr, mask in zip((v, h, m), masks, strict=True):
-        arr[shot, t_lo:t_hi][:, mask] = (
-            rng.random((span, int(mask.sum()))) < p_ano)
-
-
-def _overwrite_anomalous_packed(v: np.ndarray, h: np.ndarray, m: np.ndarray,
-                                shot: int, region: AnomalousRegion,
-                                distance: int, p_ano: float,
-                                rng: np.random.Generator) -> None:
-    """Packed-word counterpart of :func:`_overwrite_anomalous`.
-
-    Draws the identical uniforms (same shapes, same order), then
-    deposits them into ``shot``'s lane of the affected words with a
-    set/clear mask — the rest of the word's 64 shots are untouched.
-    """
-    masks = build_anomalous_masks(distance, region)
-    cycles = v.shape[1]
-    t_hi = region.t_hi if region.t_hi is not None else cycles
-    t_lo, t_hi = max(0, region.t_lo), min(cycles, t_hi)
-    if t_hi <= t_lo:
-        return
-    span = t_hi - t_lo
-    w, b = divmod(shot, bitops.WORD_BITS)
-    bit = np.uint64(1) << np.uint64(b)
-    for arr, mask in zip((v, h, m), masks, strict=True):
-        bits = rng.random((span, int(mask.sum()))) < p_ano
-        view = arr[w, t_lo:t_hi]
-        current = view[:, mask]
-        view[:, mask] = np.where(bits, current | bit, current & ~bit)
-
-
 def _windowed_over(activity: np.ndarray, c_win: int,
                    v_th: float) -> tuple[np.ndarray, np.ndarray]:
     """Sliding-window counter state for one shot's activity stream.
@@ -400,13 +369,22 @@ class MemoryShotKernel:
             out[s] = self._cut_parity(nodes)
         return out
 
-    def run_batch(self, shots: int, rng: np.random.Generator) -> np.ndarray:
+    def pipeline(self) -> ShotPipeline:
+        """This kernel's staged pipeline (sample/extract/decode/accumulate)."""
         self.prepare()
-        noise, lattice, _, _ = self._state
-        v, h, m = noise.sample_batch(shots, self.cycles, rng)
-        nodes_per_shot = lattice.detection_events_batch(v, h, m)
-        error_parity = lattice.error_cut_parity(v).astype(np.int8)
-        return error_parity ^ self._cut_parities(nodes_per_shot)
+        return ShotPipeline((MemorySampleStage(self),
+                             MemoryExtractStage(self),
+                             MemoryDecodeStage(self),
+                             MemoryAccumulateStage(self)))
+
+    def _context(self, shots: int, rng: Optional[np.random.Generator],
+                 packing: str) -> StageContext:
+        self.prepare()
+        return StageContext(shots=shots, packing=packing, rng=rng,
+                            arena=self._arena, cache=self.cache)
+
+    def run_batch(self, shots: int, rng: np.random.Generator) -> np.ndarray:
+        return self.pipeline().run(self._context(shots, rng, "none"))
 
     def run_batch_packed(self, shots: int,
                          rng: np.random.Generator) -> np.ndarray:
@@ -418,21 +396,11 @@ class MemoryShotKernel:
         unpack, and the matchings run through the bucketed batched
         decode engine.
         """
-        self.prepare()
-        noise, lattice, _, _ = self._state
-        v, h, m = noise.sample_batch_packed(shots, self.cycles, rng)
-        coords, vals, _ = lattice.detection_events_packed(v, h, m)
-        parity_words = lattice.error_cut_parity_packed(v)
-        nodes, offsets = lattice.shot_nodes_bulk(coords, vals, shots)
-        nodes_list = [nodes[offsets[s]:offsets[s + 1]]
-                      for s in range(shots)]
-        error_parity = bitops.unpack_shots(
-            parity_words, shots).astype(np.int8)
-        return error_parity ^ self._cut_parities(nodes_list)
+        return self.pipeline().run(self._context(shots, rng, "bits"))
 
 
 class EndToEndShotKernel:
-    """Batched version of :meth:`EndToEndExperiment.run_shot`.
+    """Batched end-to-end strike shots (detect, estimate, re-decode).
 
     Output rows are ``(naive, detected, oracle, latency)`` with
     ``latency = -1`` on a missed detection.  The per-cycle detection
@@ -562,71 +530,43 @@ class EndToEndShotKernel:
             DistanceModel(d, estimated, w_ano), nodes)
         return naive, detected, oracle
 
+    def pipeline(self) -> ShotPipeline:
+        """This kernel's staged pipeline (all five beats)."""
+        self.prepare()
+        return ShotPipeline((EndToEndSampleStage(self),
+                             EndToEndExtractStage(self),
+                             EndToEndDetectStage(self),
+                             EndToEndDecodeStage(self),
+                             EndToEndAccumulateStage(self)))
+
+    def _context(self, shots: int, rng: Optional[np.random.Generator],
+                 packing: str) -> StageContext:
+        self.prepare()
+        return StageContext(shots=shots, packing=packing, rng=rng,
+                            arena=self._arena)
+
     def _assemble(self, nodes_list: list, parities: np.ndarray,
                   regions: list, detections: list) -> np.ndarray:
-        """Score the chunk's three strategies and pack the output rows.
+        """Decode + accumulate over pre-detected chunk inputs.
 
-        ``decode="batched"``: one region-bucketed engine call decodes
-        the whole chunk per strategy — naive shares one model, oracle
-        folds each shot's true strike box into the bucket tensors, and
-        detected folds each detecting shot's estimate (whose onset
-        varies shot to shot); misses inherit the naive matching.
-        ``decode="pershot"`` keeps the per-shot reference loop.
+        The decode-stage seam: feeds a :class:`StageState` holding the
+        detect-stage outputs (``nodes_list, parities, regions,
+        detections``) through the decode and accumulate stages — the
+        decode-stage bench times exactly this tail.
         """
-        shots = len(nodes_list)
-        naive = self._naive_parities(nodes_list)
-        out = np.empty((shots, 4), dtype=np.int64)
-        if self.decode == "batched":
-            _, _, _, _, w_ano = self._state
-            err = parities.astype(np.int8)
-            oracle = batched_region_cut_parities(
-                self.distance, regions, nodes_list, w_ano,
-                arena=self._arena)
-            detected = naive.copy()
-            det_idx = [s for s, (est, _) in enumerate(detections)
-                       if est is not None]
-            if det_idx:
-                detected[det_idx] = batched_region_cut_parities(
-                    self.distance, [detections[s][0] for s in det_idx],
-                    [nodes_list[s] for s in det_idx], w_ano,
-                    arena=self._arena)
-            out[:, 0] = err ^ naive
-            out[:, 1] = err ^ detected
-            out[:, 2] = err ^ oracle
-        else:
-            for s, (estimated, _) in enumerate(detections):
-                out[s, :3] = self._score(nodes_list[s], int(parities[s]),
-                                         int(naive[s]), regions[s],
-                                         estimated)
-        out[:, 3] = [latency for _, latency in detections]
-        return out
+        self.prepare()
+        state = StageState()
+        state.nodes_list = nodes_list
+        state.parities = parities
+        state.regions = regions
+        state.detections = detections
+        ctx = self._context(len(nodes_list), None, "bits")
+        EndToEndDecodeStage(self).run(ctx, state)
+        EndToEndAccumulateStage(self).run(ctx, state)
+        return state.outcomes
 
     def run_batch(self, shots: int, rng: np.random.Generator) -> np.ndarray:
-        self.prepare()
-        lattice, _, base_noise, _, _ = self._state
-        d, cycles = self.distance, self.cycles
-
-        regions = [AnomalousRegion.random(d, self.anomaly_size, rng,
-                                          t_lo=self.onset)
-                   for _ in range(shots)]
-        v, h, m = base_noise.sample_batch(shots, cycles, rng)
-        # Regions differ per shot, so the anomalous overwrite is the one
-        # per-shot sampling step (touching only the region's cells).
-        for s, region in enumerate(regions):
-            _overwrite_anomalous(v, h, m, s, region, d, self.p_ano, rng)
-        activity = lattice.per_cycle_activity(v, h, m)
-
-        detections = []
-        nodes_list = []
-        parities = np.empty(shots, dtype=np.int64)
-        for s, scan in enumerate(self._detect_all(activity)):
-            stop, estimated, latency = scan
-            vs = v[s, :stop]
-            nodes_list.append(lattice.detection_events(
-                vs, h[s, :stop], m[s, :stop]))
-            parities[s] = lattice.error_cut_parity(vs)
-            detections.append((estimated, latency))
-        return self._assemble(nodes_list, parities, regions, detections)
+        return self.pipeline().run(self._context(shots, rng, "none"))
 
     def run_batch_packed(self, shots: int,
                          rng: np.random.Generator) -> np.ndarray:
@@ -640,44 +580,20 @@ class EndToEndShotKernel:
         are sliced out of the word arrays already computed for the whole
         batch.
         """
-        return self._assemble(*self._chunk_packed(shots, rng))
+        return self.pipeline().run(self._context(shots, rng, "bits"))
 
     def _chunk_packed(self, shots: int, rng: np.random.Generator) -> tuple:
         """Sample + detect one packed chunk, stopping short of decode.
 
         Returns the decode-stage inputs ``(nodes_list, parities,
         regions, detections)`` — the seam the decode-stage bench times
-        :meth:`_assemble` across.
+        :meth:`_assemble` across.  A partial pipeline run:
+        ``run_until("detect")``.
         """
-        self.prepare()
-        lattice, _, base_noise, _, _ = self._state
-        d, cycles = self.distance, self.cycles
-
-        regions = [AnomalousRegion.random(d, self.anomaly_size, rng,
-                                          t_lo=self.onset)
-                   for _ in range(shots)]
-        v, h, m = base_noise.sample_batch_packed(shots, cycles, rng)
-        for s, region in enumerate(regions):
-            _overwrite_anomalous_packed(v, h, m, s, region, d,
-                                        self.p_ano, rng)
-        activity = lattice.per_cycle_activity_packed(v, h, m)
-        coords, vals, bounds = lattice.packed_active_nodes(activity)
-        north_prefix = lattice.north_cut_prefix_packed(v)
-
-        if self.decode == "batched":
-            scans = self._detect_all(bitops.unpack_shots(activity, shots))
-        else:
-            scans = [self._detect(bitops.lane(activity, s))
-                     for s in range(shots)]
-        detections = []
-        nodes_list = []
-        parities = np.empty(shots, dtype=np.int64)
-        for s, (stop, estimated, latency) in enumerate(scans):
-            nodes_list.append(self._shot_nodes_truncated(
-                lattice, coords, vals, bounds, m, s, stop))
-            parities[s] = bitops.lane_bit(north_prefix[:, stop - 1], s)
-            detections.append((estimated, latency))
-        return nodes_list, parities, regions, detections
+        state = self.pipeline().run_until(
+            "detect", self._context(shots, rng, "bits"))
+        return (state.nodes_list, state.parities, state.regions,
+                state.detections)
 
     @staticmethod
     def _shot_nodes_truncated(lattice, coords, vals, bounds, m,
@@ -795,20 +711,20 @@ class DetectionShotKernel:
                          int(np.median(flag_c)) - centre_c)
         return (false_positive, 1.0, cycle - onset, err)
 
-    def run_batch(self, shots: int, rng: np.random.Generator) -> np.ndarray:
+    def pipeline(self) -> ShotPipeline:
+        """This kernel's staged pipeline (sample/extract/detect)."""
         self.prepare()
-        _, base_noise, lattice = self._state
-        total = self.normal_cycles + self.post_cycles
+        return ShotPipeline((DetectionSampleStage(self),
+                             DetectionExtractStage(self),
+                             DetectionScoreStage(self)))
 
-        regions = [AnomalousRegion.random(self.distance, self.anomaly_size,
-                                          rng, t_lo=self.normal_cycles)
-                   for _ in range(shots)]
-        v, h, m = base_noise.sample_batch(shots, total, rng)
-        for s, region in enumerate(regions):
-            _overwrite_anomalous(v, h, m, s, region, self.distance,
-                                 self.p_ano, rng)
-        return self._score_all(lattice.per_cycle_activity(v, h, m),
-                               regions)
+    def _context(self, shots: int, rng: Optional[np.random.Generator],
+                 packing: str) -> StageContext:
+        self.prepare()
+        return StageContext(shots=shots, packing=packing, rng=rng)
+
+    def run_batch(self, shots: int, rng: np.random.Generator) -> np.ndarray:
+        return self.pipeline().run(self._context(shots, rng, "none"))
 
     def run_batch_packed(self, shots: int,
                          rng: np.random.Generator) -> np.ndarray:
@@ -818,25 +734,7 @@ class DetectionShotKernel:
         trials per uint64 word); only each trial's own activity lane is
         read back, by the windowed-count scan.
         """
-        self.prepare()
-        _, base_noise, lattice = self._state
-        total = self.normal_cycles + self.post_cycles
-
-        regions = [AnomalousRegion.random(self.distance, self.anomaly_size,
-                                          rng, t_lo=self.normal_cycles)
-                   for _ in range(shots)]
-        v, h, m = base_noise.sample_batch_packed(shots, total, rng)
-        for s, region in enumerate(regions):
-            _overwrite_anomalous_packed(v, h, m, s, region, self.distance,
-                                        self.p_ano, rng)
-        activity = lattice.per_cycle_activity_packed(v, h, m)
-        if self.scan == "batched":
-            return self._score_all(bitops.unpack_shots(activity, shots),
-                                   regions)
-        out = np.empty((shots, 4), dtype=np.float64)
-        for s in range(shots):
-            out[s] = self._score_trial(bitops.lane(activity, s), regions[s])
-        return out
+        return self.pipeline().run(self._context(shots, rng, "bits"))
 
 
 # ----------------------------------------------------------------------

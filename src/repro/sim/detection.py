@@ -20,13 +20,10 @@ from typing import Optional
 import numpy as np
 from scipy.special import erfinv
 
-from repro.core.anomaly import AnomalyDetectionUnit
 from repro.core.statistics import (
     SyndromeStatistics,
     expected_activity_rate,
 )
-from repro.decoding.graph import SyndromeLattice
-from repro.noise.models import AnomalousRegion, PhenomenologicalNoise
 
 
 @dataclass(frozen=True)
@@ -58,21 +55,6 @@ class DetectionPerformance:
         return 1.0 - self.detections / self.trials
 
 
-def _stream_activity(
-    distance: int,
-    p: float,
-    p_ano: float,
-    region: Optional[AnomalousRegion],
-    cycles: int,
-    rng: np.random.Generator,
-) -> np.ndarray:
-    """Per-cycle node-activity stream, shape ``(cycles, d-1, d)``."""
-    noise = PhenomenologicalNoise(distance, p, p_ano, region)
-    lattice = SyndromeLattice(distance)
-    v, h, m = noise.sample(cycles, rng)
-    return lattice.per_cycle_activity(v, h, m)
-
-
 def calibrated_statistics(p: float) -> SyndromeStatistics:
     """Bulk-node activity statistics for normal qubits (pre-calibration)."""
     return SyndromeStatistics.from_activity_rate(expected_activity_rate(p))
@@ -92,12 +74,11 @@ def run_detection_trials(
     seed: Optional[int] = None,
     workers: int = 0,
     packing: str = "bits",
-    engine: str = "batched",
 ) -> DetectionPerformance:
     """Stream trials through the detection unit and aggregate outcomes.
 
-    This is now a thin shim over the unified campaign API — the batched
-    path builds a :class:`repro.campaigns.DetectionSpec` and calls
+    This is now a thin shim over the unified campaign API — it builds a
+    :class:`repro.campaigns.DetectionSpec` and calls
     :func:`repro.campaigns.run`, so its results are bit-identical per
     ``(seed, batch_size)`` to the pre-redesign ``BatchShotRunner`` path
     and to a directly run spec.  Prefer the campaign API for new code
@@ -105,87 +86,30 @@ def run_detection_trials(
 
     Each trial: ``normal_cycles`` of anomaly-free operation (any flag here
     is a false positive), then an MBBE appears at a random position and
-    runs for ``post_cycles`` (no flag here is a miss).  The batched
+    runs for ``post_cycles`` (no flag here is a miss).  The staged batch
     kernel (one windowed-count pass per chunk, bit-packed
-    sampling/extraction by default — see ``packing``) is the production
-    path for every ``workers`` value: ``0`` (default) runs it
-    in-process over whole-request chunks (``batch_size = trials``,
-    shrunk by :func:`repro.sim.batch.default_chunk_shots` when the
-    chunk's activity tensors would not fit in memory), ``> 1`` fans
-    batches over a process pool.  ``engine="reference"`` keeps the
-    original per-cycle streaming loop through the
-    :class:`AnomalyDetectionUnit` — the certified reference the
-    equivalence suite scores the batched scan against.  *Deprecated as
-    an application path*: it survives only for the equivalence suite
-    and will not grow campaign features.
+    sampling/extraction by default — see ``packing``) is the only
+    engine: ``workers = 0`` (default) runs it in-process over
+    whole-request chunks (``batch_size = trials``, shrunk by
+    :func:`repro.sim.batch.default_chunk_shots` when the chunk's
+    activity tensors would not fit in memory), ``> 1`` fans batches over
+    a process pool.  The retired per-cycle reference loop lives in
+    ``tests/reference_engines.py``, reachable only from the equivalence
+    suite.
     """
-    if engine not in ("batched", "reference"):
-        raise ValueError("engine must be 'batched' or 'reference'")
-    if engine == "batched":
-        from repro import campaigns
-        if seed is None:
-            # reprolint: disable=RL001 -- seed=None is the legacy API's
-            # explicit opt-out; the drawn seed lands in the spec so the
-            # run is still replayable from its provenance block
-            seed = int(np.random.default_rng().integers(2 ** 63))
-        spec = campaigns.DetectionSpec(
-            distance=distance, p=p, p_ano=p_ano,
-            anomaly_size=anomaly_size, c_win=c_win, n_th=n_th,
-            alpha=alpha, trials=trials, normal_cycles=normal_cycles,
-            post_cycles=post_cycles, seed=seed, packing=packing)
-        executor = campaigns.default_executor(workers)
-        return campaigns.run(spec, executor=executor).detail
-
-    rng = np.random.default_rng(seed)
-    stats = calibrated_statistics(p)
-    normal_cycles = normal_cycles if normal_cycles is not None else 2 * c_win
-    post_cycles = post_cycles if post_cycles is not None else 4 * c_win
-
-    false_positives = 0
-    detections = 0
-    latencies: list[int] = []
-    position_errors: list[float] = []
-    rows, cols = distance - 1, distance
-    for _ in range(trials):
-        onset = normal_cycles
-        region = AnomalousRegion.random(distance, anomaly_size, rng,
-                                        t_lo=onset)
-        row_lo, col_lo = region.row_lo, region.col_lo
-        total = normal_cycles + post_cycles
-        activity = _stream_activity(distance, p, p_ano, region, total, rng)
-        unit = AnomalyDetectionUnit(
-            (rows, cols), stats, c_win, n_th, alpha)
-        tripped_early = False
-        event = None
-        for t in range(total):
-            evt = unit.observe(activity[t])
-            if evt is None:
-                continue
-            if t < onset:
-                tripped_early = True
-                # The false positive is not acted on, so its mask must not
-                # stand either -- it could blind the unit to the real MBBE.
-                unit.clear_masks()
-                continue  # keep streaming; a later flag still counts
-            event = evt
-            break
-        if tripped_early:
-            false_positives += 1
-        if event is not None:
-            detections += 1
-            latencies.append(event.cycle - onset)
-            centre_r = row_lo + (anomaly_size - 1) / 2.0
-            centre_c = col_lo + (anomaly_size - 1) / 2.0
-            position_errors.append(math.hypot(
-                event.row - centre_r, event.col - centre_c))
-    return DetectionPerformance(
-        trials=trials,
-        false_positives=false_positives,
-        detections=detections,
-        mean_latency=float(np.mean(latencies)) if latencies else float("nan"),
-        mean_position_error=(float(np.mean(position_errors))
-                             if position_errors else float("nan")),
-    )
+    from repro import campaigns
+    if seed is None:
+        # reprolint: disable=RL001 -- seed=None is the legacy API's
+        # explicit opt-out; the drawn seed lands in the spec so the
+        # run is still replayable from its provenance block
+        seed = int(np.random.default_rng().integers(2 ** 63))
+    spec = campaigns.DetectionSpec(
+        distance=distance, p=p, p_ano=p_ano,
+        anomaly_size=anomaly_size, c_win=c_win, n_th=n_th,
+        alpha=alpha, trials=trials, normal_cycles=normal_cycles,
+        post_cycles=post_cycles, seed=seed, packing=packing)
+    executor = campaigns.default_executor(workers)
+    return campaigns.run(spec, executor=executor).detail
 
 
 def analytic_required_window(

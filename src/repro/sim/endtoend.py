@@ -25,12 +25,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.anomaly import AnomalyDetectionUnit
 from repro.core.statistics import SyndromeStatistics, expected_activity_rate
 from repro.decoding.graph import SyndromeLattice
-from repro.decoding.greedy import GreedyDecoder
-from repro.decoding.weights import DistanceModel, relative_anomalous_weight
-from repro.noise.models import AnomalousRegion, PhenomenologicalNoise
+from repro.noise.models import AnomalousRegion
 
 
 def estimate_strike_region(distance: int, anomaly_size: int,
@@ -120,133 +117,40 @@ class EndToEndExperiment:
             expected_activity_rate(p))
 
     # ------------------------------------------------------------------
-    def _random_region(self, rng: np.random.Generator) -> AnomalousRegion:
-        return AnomalousRegion.random(self.distance, self.anomaly_size,
-                                      rng, t_lo=self.onset)
-
-    def _decode_failure(self, nodes, v, region) -> int:
-        if region is None:
-            model = DistanceModel(self.distance)
-        else:
-            w_ano = relative_anomalous_weight(self.p, self.p_ano)
-            model = DistanceModel(self.distance, region, w_ano)
-        result = GreedyDecoder(model).decode(nodes)
-        return self.lattice.error_cut_parity(v) ^ result.correction_cut_parity
-
-    def run_shot(self, rng: np.random.Generator):
-        """One strike shot; returns (naive, detected, oracle, latency).
-
-        The shot is scored over Q3DE's *exposure window*: the run stops
-        ``d`` cycles after the detection fires (or after a fallback
-        timeout on a miss), because from that point the expanded code
-        protects the qubit and the re-executed decoder has caught up.
-        """
-        true_region = self._random_region(rng)
-        noise = PhenomenologicalNoise(self.distance, self.p, self.p_ano,
-                                      true_region)
-        v, h, m = noise.sample(self.cycles, rng)
-        activity = self.lattice.per_cycle_activity(v, h, m)
-
-        unit = AnomalyDetectionUnit(
-            (self.distance - 1, self.distance), self.stats,
-            self.c_win, self.n_th, self.alpha)
-        event = None
-        stop = self.cycles
-        for t in range(self.cycles):
-            evt = unit.observe(activity[t])
-            if evt is None:
-                continue
-            if evt.cycle < self.onset:
-                # A pre-onset false positive is discarded, so the mask it
-                # laid down must go with it: otherwise the unit is blind
-                # around the flagged position for mask_cycles and the real
-                # strike can go undetected.
-                unit.clear_masks()
-                continue
-            event = evt
-            stop = min(self.cycles, evt.cycle + self.distance)
-            break
-
-        estimated: Optional[AnomalousRegion] = None
-        latency = None
-        if event is not None:
-            estimated = estimate_strike_region(
-                self.distance, self.anomaly_size, event.row, event.col,
-                event.onset_estimate)
-            latency = event.cycle - self.onset
-
-        v, h, m = v[:stop], h[:stop], m[:stop]
-        nodes = self.lattice.detection_events(v, h, m)
-        naive = self._decode_failure(nodes, v, None)
-        oracle = self._decode_failure(nodes, v, true_region)
-        detected = (self._decode_failure(nodes, v, estimated)
-                    if estimated is not None else naive)
-        return naive, detected, oracle, latency
-
     def run(self, shots: int,
             rng: Optional[np.random.Generator] = None,
             workers: int = 0,
             batch_size: Optional[int] = None,
             seed: Optional[int] = None,
-            packing: str = "bits",
-            engine: str = "batched") -> EndToEndResult:
+            packing: str = "bits") -> EndToEndResult:
         """Run the campaign and aggregate failure rates.
 
-        This is now a thin shim over the unified campaign API — the
-        batched path builds a :class:`repro.campaigns.EndToEndSpec` and
-        calls :func:`repro.campaigns.run`, so its results are
-        bit-identical per ``(seed, batch_size)`` to the pre-redesign
+        This is now a thin shim over the unified campaign API — it
+        builds a :class:`repro.campaigns.EndToEndSpec` and calls
+        :func:`repro.campaigns.run`, so its results are bit-identical
+        per ``(seed, batch_size)`` to the pre-redesign
         ``BatchShotRunner`` path and to a directly run spec.  Prefer the
         campaign API for new code (sweeps, executors, checkpoint/resume,
         provenance).
 
-        The batched shot engine (region-bucketed decoding, bit-packed
+        The staged shot kernel (region-bucketed decoding, bit-packed
         sampling by default — ``packing="bits"`` is outcome-identical
         to the ``"none"`` float reference per ``(seed, batch_size)``)
-        is the production path for every ``workers`` value:
-        ``workers = 0`` (default) runs it in-process over whole-request
-        chunks (``batch_size = shots``, shrunk by
-        :func:`repro.sim.batch.default_chunk_shots` when the chunk's
-        activity tensors would not fit in memory); ``workers > 1`` fans
-        batches over a process pool.  Batched campaigns are
-        reproducible from ``(seed, batch_size)`` (``seed`` drawn from
-        ``rng`` when not given).
-
-        ``engine="reference"`` keeps the original per-cycle
-        :meth:`run_shot` loop — the certified reference the
-        equivalence suite scores the batched engine against.
-        *Deprecated as an application path*: it is slow, streams ``rng``
-        shot by shot, ignores the engine knobs, and survives only for
-        the equivalence suite; it will not grow campaign features.
+        is the only engine: ``workers = 0`` (default) runs it
+        in-process over whole-request chunks (``batch_size = shots``,
+        shrunk by :func:`repro.sim.batch.default_chunk_shots` when the
+        chunk's activity tensors would not fit in memory);
+        ``workers > 1`` fans batches over a process pool.  Campaigns
+        are reproducible from ``(seed, batch_size)`` (``seed`` drawn
+        from ``rng`` when not given).  The retired per-cycle reference
+        loop lives in ``tests/reference_engines.py``, reachable only
+        from the equivalence suite.
         """
         if shots < 1:
             raise ValueError("need at least one shot")
         # reprolint: disable=RL001 -- rng=None is the caller's explicit
         # opt-out of reproducibility; campaigns always pass a seeded rng
         rng = rng if rng is not None else np.random.default_rng()
-        if engine not in ("batched", "reference"):
-            raise ValueError("engine must be 'batched' or 'reference'")
-        if engine == "reference":
-            naive = detected = oracle = found = 0
-            latencies: list[int] = []
-            for _ in range(shots):
-                n, d, o, lat = self.run_shot(rng)
-                naive += n
-                detected += d
-                oracle += o
-                if lat is not None:
-                    found += 1
-                    latencies.append(lat)
-            return EndToEndResult(
-                shots=shots,
-                naive_failures=naive,
-                detected_failures=detected,
-                oracle_failures=oracle,
-                detections=found,
-                mean_latency=(float(np.mean(latencies)) if latencies
-                              else float("nan")),
-            )
-
         from repro import campaigns
         if seed is None:
             seed = int(rng.integers(2 ** 63))

@@ -1,0 +1,33 @@
+"""Online streaming detection/decode with bounded memory and latency SLOs.
+
+The batch kernels (:mod:`repro.sim.batch`) sample whole campaigns and
+scan offline; this package runs the same model round by round, the way
+the paper's hardware pipeline must: a ring-buffered detection window
+(:class:`RoundWindow`), an O(d^2) incremental syndrome extractor
+(:class:`SyndromeStream`), and the shared bucketed decoder firing at
+exposure close — with per-round wall clocks feeding p50/p99 latency and
+sustained rounds/sec.
+
+Certified invariant (docs/CONTRACTS.md): per rng seed, the streamed
+outcomes equal :func:`replay_offline`'s offline windowed scan over the
+identical round stream, bit for bit.
+"""
+
+from repro.streaming.driver import (LatencyStats, RoundSampler,
+                                    StreamingPerformance,
+                                    StreamingTrialDriver, StreamResult,
+                                    SyndromeStream, latency_stats,
+                                    replay_offline)
+from repro.streaming.window import RoundWindow
+
+__all__ = [
+    "LatencyStats",
+    "RoundSampler",
+    "RoundWindow",
+    "StreamResult",
+    "StreamingPerformance",
+    "StreamingTrialDriver",
+    "SyndromeStream",
+    "latency_stats",
+    "replay_offline",
+]

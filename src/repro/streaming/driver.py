@@ -1,0 +1,455 @@
+"""Online streaming detection/decode driver with latency accounting.
+
+The batch kernels sample a whole campaign tensor and scan it after the
+fact; hardware cannot.  This module runs the same phenomenological
+model *online*: syndrome rounds are drawn one at a time, the windowed
+anomaly detector (:class:`repro.streaming.window.RoundWindow`) and the
+incremental syndrome extractor (:class:`SyndromeStream`) update with
+O(d^2) state per round, and the bucketed decoder fires once when the
+trial's exposure window closes.  No whole-campaign ``(T, ...)`` tensor
+ever exists — peak live rounds is bounded by ``c_win``.
+
+The reproducibility contract extends here as the *offline≡streaming
+equivalence invariant*: for a given per-round uniform stream (one rng
+seed), :meth:`StreamingTrialDriver.run` and :func:`replay_offline`
+(which materializes the identical stream and runs the offline windowed
+scan from :mod:`repro.sim.batch`) produce bit-identical outcomes —
+false-positive flags, event cycle, flagged-node mask, estimated region,
+and every decoded parity.  ``tests/test_streaming.py`` sweeps this.
+
+Note the streaming draw order is *per round* (round ``t`` draws its
+``v, h, m`` then the region overwrites), not the batch kernels'
+whole-tensor order — the two are distributionally identical but consume
+the uniform stream differently, so streaming outcomes are certified
+against :func:`replay_offline`, not against the batch kernels.
+
+Wall-clock accounting: each round's detector update is timed with an
+injectable ``clock`` (``time.perf_counter`` by default), feeding the
+p50/p99 per-round latency and sustained rounds/sec that
+``benchmarks/bench_streaming_latency.py`` publishes and
+:class:`repro.hwmodel.pipeline.StreamSLO` judges.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.statistics import (SyndromeStatistics, detection_threshold,
+                                   expected_activity_rate)
+from repro.decoding.batched import (ScratchArena, batched_cut_parities,
+                                    streaming_cut_parity)
+from repro.decoding.graph import SyndromeLattice
+from repro.decoding.weights import DistanceModel, relative_anomalous_weight
+from repro.noise.models import AnomalousRegion, build_anomalous_masks
+from repro.sim.endtoend import estimate_strike_region
+from repro.streaming.window import RoundWindow
+
+Clock = Callable[[], float]
+
+
+class RoundSampler:
+    """Per-round sampling of the phenomenological noise stream.
+
+    Round ``t`` draws its base ``v, h, m`` uniforms in that order
+    (``rng.random(shape) < p``), then — while the anomalous region is
+    active — overwrites the masked cells, again in v/h/m order.  One
+    round consumes a fixed, t-independent number of uniforms plus the
+    region overwrites, so the stream can be replayed exactly.
+    """
+
+    def __init__(self, distance: int, p: float, p_ano: float,
+                 region: Optional[AnomalousRegion]):
+        d = distance
+        self.distance = d
+        self.p = p
+        self.p_ano = p_ano
+        self.region = region
+        self._shapes = ((d, d), (d - 1, d - 1), (d - 1, d))
+        self._masks = (build_anomalous_masks(d, region)
+                       if region is not None else None)
+
+    def draw(self, t: int, rng: np.random.Generator
+             ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample round ``t``'s ``(v_t, h_t, m_t)`` flip layers (bool)."""
+        v, h, m = (rng.random(shape) < self.p for shape in self._shapes)
+        if (self._masks is not None and self.region is not None
+                and self.region.active_at(t)):
+            for arr, mask in zip((v, h, m), self._masks, strict=True):
+                arr[mask] = rng.random(int(mask.sum())) < self.p_ano
+        return v, h, m
+
+
+class SyndromeStream:
+    """Incremental per-round active-node extraction.
+
+    Bounded state: the mod-2 cumulative flip sums (``cum_v``/``cum_h``),
+    the previous noisy syndrome layer, the last measurement-error layer,
+    and the running north-cut parity — O(d^2) regardless of stream
+    length.  Round ``t``'s returned activity layer equals layer ``t`` of
+    :meth:`repro.decoding.graph.SyndromeLattice.per_cycle_activity` on
+    the accumulated stream, bit for bit (same uint8 mod-2 algebra,
+    folded one round at a time instead of one cumsum per tensor).
+    """
+
+    def __init__(self, distance: int):
+        d = distance
+        self.distance = d
+        self._cum_v = np.zeros((d, d), dtype=np.uint8)
+        self._cum_h = np.zeros((d - 1, d - 1), dtype=np.uint8)
+        self._prev_noisy = np.zeros((d - 1, d), dtype=np.uint8)
+        #: measurement-error layer of the most recent round (``m[t]``) —
+        #: after truncation at ``stop`` this IS the final perfect
+        #: round's difference layer (the truncation identity).
+        self.last_m = np.zeros((d - 1, d), dtype=np.uint8)
+        #: north-cut error parity of all rounds pushed so far.
+        self.north_parity = 0
+        self.rounds = 0
+
+    def push(self, v_t: np.ndarray, h_t: np.ndarray,
+             m_t: np.ndarray) -> np.ndarray:
+        """Fold in one round; returns its uint8 activity layer."""
+        self._cum_v ^= v_t.astype(np.uint8)
+        self._cum_h ^= h_t.astype(np.uint8)
+        true_t = self._cum_v[:-1, :] ^ self._cum_v[1:, :]
+        true_t[:, :-1] ^= self._cum_h
+        true_t[:, 1:] ^= self._cum_h
+        noisy_t = true_t ^ m_t.astype(np.uint8)
+        activity = noisy_t ^ self._prev_noisy
+        self._prev_noisy = noisy_t
+        self.last_m = m_t.astype(np.uint8)
+        self.north_parity ^= int(v_t[0, :].sum()) & 1
+        self.rounds += 1
+        return activity
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Outcome of one streamed (or replayed-offline) trial."""
+
+    false_positive: bool
+    detected: bool
+    event_cycle: int            # -1 on a miss
+    latency_cycles: int         # event_cycle - onset; -1 on a miss
+    stop: int                   # cycle the exposure window closed at
+    flag_mask: Optional[np.ndarray]   # over-map at the flag window
+    estimated: Optional[AnomalousRegion]
+    position_error: float       # node-grid distance; nan on a miss
+    naive_failure: int
+    detected_failure: int
+    oracle_failure: int
+    peak_live_rounds: int
+    round_latencies_s: Optional[np.ndarray] = None  # None for replays
+
+    def outcomes(self) -> dict:
+        """The seed-determined fields — what offline≡streaming compares.
+
+        Excludes the wall clocks and the memory high-water mark, which
+        are execution-strategy facts, not outcomes of the stream.
+        """
+        return {
+            "false_positive": self.false_positive,
+            "detected": self.detected,
+            "event_cycle": self.event_cycle,
+            "latency_cycles": self.latency_cycles,
+            "stop": self.stop,
+            "flag_mask": self.flag_mask,
+            "estimated": self.estimated,
+            "position_error": self.position_error,
+            "naive_failure": self.naive_failure,
+            "detected_failure": self.detected_failure,
+            "oracle_failure": self.oracle_failure,
+        }
+
+
+class StreamingTrialDriver:
+    """One online trial: rounds in, detection + decoded parities out.
+
+    A trial streams up to ``cycles`` rounds.  The anomalous region
+    strikes at ``onset`` (drawn uniformly in space per trial, exactly as
+    the batch kernels draw it).  The windowed detector scans live with
+    the scan-tail semantics of the offline kernels: window fires before
+    ``onset`` → false positive (scanning continues); first fire at or
+    after ``onset`` → detection, after which the exposure closes at
+    ``stop = min(cycles, event_cycle + distance)`` and the bucketed
+    decoder scores the truncated stream (naive / detected / oracle
+    matchings, as in the end-to-end kernel).
+    """
+
+    def __init__(self, distance: int, p: float, p_ano: float,
+                 anomaly_size: int, onset: int, cycles: int, c_win: int,
+                 n_th: int, alpha: float = 0.01,
+                 arena: Optional[ScratchArena] = None):
+        if cycles < 1:
+            raise ValueError("cycles must be >= 1")
+        if not 0 <= onset < cycles:
+            raise ValueError("onset must lie inside [0, cycles)")
+        if c_win < 1:
+            raise ValueError("c_win must be >= 1")
+        self.distance = distance
+        self.p = p
+        self.p_ano = p_ano
+        self.anomaly_size = anomaly_size
+        self.onset = onset
+        self.cycles = cycles
+        self.c_win = c_win
+        self.n_th = n_th
+        self.alpha = alpha
+        stats = SyndromeStatistics.from_activity_rate(
+            expected_activity_rate(p))
+        self.v_th = detection_threshold(stats, c_win, alpha)
+        self.w_ano = relative_anomalous_weight(p, p_ano)
+        self._naive_model = DistanceModel(distance)
+        self.arena = arena if arena is not None else ScratchArena()
+
+    # ------------------------------------------------------------------
+    def run(self, rng: np.random.Generator,
+            clock: Clock = time.perf_counter) -> StreamResult:
+        """Stream one trial to completion.
+
+        ``rng`` determines the trial fully (region placement, then the
+        per-round stream).  ``clock`` is injectable so equivalence tests
+        can run with a free clock; the default is the monotonic
+        high-resolution timer the latency bench publishes from.
+        """
+        d = self.distance
+        region = AnomalousRegion.random(d, self.anomaly_size, rng,
+                                        t_lo=self.onset)
+        sampler = RoundSampler(d, self.p, self.p_ano, region)
+        stream = SyndromeStream(d)
+        window = RoundWindow(self.c_win, (d - 1, d))
+        node_chunks: list[np.ndarray] = []
+        false_positive = False
+        event_cycle = -1
+        estimated: Optional[AnomalousRegion] = None
+        flag_mask: Optional[np.ndarray] = None
+        position_error = float("nan")
+        stop = self.cycles
+        latencies = np.empty(self.cycles, dtype=np.float64)
+
+        t = 0
+        while t < stop:
+            tic = clock()
+            v_t, h_t, m_t = sampler.draw(t, rng)
+            activity = stream.push(v_t, h_t, m_t)
+            coords = np.argwhere(activity != 0)
+            if len(coords):
+                node_chunks.append(np.concatenate(
+                    [np.full((len(coords), 1), t, dtype=coords.dtype),
+                     coords], axis=1))
+            if window.push(activity) and event_cycle < 0:
+                if window.n_over(self.v_th) > self.n_th:
+                    if t < self.onset:
+                        false_positive = True
+                    else:
+                        over = window.over(self.v_th)
+                        event_cycle = t
+                        flag_mask = np.asarray(over).copy()
+                        flag_r, flag_c = np.nonzero(flag_mask)
+                        row = int(np.median(flag_r))
+                        col = int(np.median(flag_c))
+                        estimated = estimate_strike_region(
+                            d, self.anomaly_size, row, col,
+                            max(0, event_cycle - self.c_win))
+                        centre_r = region.row_lo + \
+                            (self.anomaly_size - 1) / 2.0
+                        centre_c = region.col_lo + \
+                            (self.anomaly_size - 1) / 2.0
+                        position_error = math.hypot(row - centre_r,
+                                                    col - centre_c)
+                        stop = min(self.cycles, event_cycle + d)
+            latencies[t] = clock() - tic
+            t += 1
+
+        nodes = self._close(stream, node_chunks, stop)
+        naive, detected_p, oracle = self._decode(nodes, region, estimated)
+        err = stream.north_parity
+        return StreamResult(
+            false_positive=false_positive,
+            detected=event_cycle >= 0,
+            event_cycle=event_cycle,
+            latency_cycles=(event_cycle - self.onset
+                            if event_cycle >= 0 else -1),
+            stop=stop,
+            flag_mask=flag_mask,
+            estimated=estimated,
+            position_error=position_error,
+            naive_failure=err ^ naive,
+            detected_failure=err ^ detected_p,
+            oracle_failure=err ^ oracle,
+            peak_live_rounds=window.peak_live_rounds,
+            round_latencies_s=latencies[:stop].copy(),
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _close(stream: SyndromeStream, node_chunks: list[np.ndarray],
+               stop: int) -> np.ndarray:
+        """Active nodes of the truncated stream plus the final round.
+
+        The final perfect measurement round contributes exactly the last
+        noisy round's measurement-error layer (the truncation identity
+        the packed kernels are certified on), so its nodes are read off
+        ``stream.last_m`` at layer ``t = stop`` with no resampling.
+        """
+        final = np.argwhere(stream.last_m != 0)
+        if len(final):
+            node_chunks = node_chunks + [np.concatenate(
+                [np.full((len(final), 1), stop, dtype=final.dtype),
+                 final], axis=1)]
+        if not node_chunks:
+            return np.zeros((0, 3), dtype=np.int64)
+        return np.concatenate(node_chunks, axis=0)
+
+    def _decode(self, nodes: np.ndarray, region: AnomalousRegion,
+                estimated: Optional[AnomalousRegion]
+                ) -> tuple[int, int, int]:
+        """(naive, detected, oracle) matching parities for one stream."""
+        naive = int(batched_cut_parities(self._naive_model, [nodes],
+                                         arena=self.arena)[0])
+        oracle = streaming_cut_parity(self.distance, region, nodes,
+                                      self.w_ano, arena=self.arena)
+        if estimated is None:
+            return naive, naive, oracle
+        detected = streaming_cut_parity(self.distance, estimated, nodes,
+                                        self.w_ano, arena=self.arena)
+        return naive, detected, oracle
+
+
+def replay_offline(driver: StreamingTrialDriver,
+                   rng: np.random.Generator) -> StreamResult:
+    """The offline windowed scan over the identical round stream.
+
+    Draws the same per-round uniform sequence as
+    :meth:`StreamingTrialDriver.run` (same rng state evolution for every
+    round the streaming path processes), materializes the full
+    ``(T, ...)`` tensors, and scores them with the *offline* primitives:
+    the batched cumsum window scan, whole-tensor
+    ``SyndromeLattice.detection_events`` / ``error_cut_parity``, and the
+    same bucketed decode.  This is the equivalence target for the
+    offline≡streaming invariant — outcomes must match
+    :meth:`StreamingTrialDriver.run` bit for bit per seed.
+    """
+    from repro.sim.batch import _windowed_over
+
+    d, cycles, c_win = driver.distance, driver.cycles, driver.c_win
+    region = AnomalousRegion.random(d, driver.anomaly_size, rng,
+                                    t_lo=driver.onset)
+    sampler = RoundSampler(d, driver.p, driver.p_ano, region)
+    v = np.empty((cycles, d, d), dtype=bool)
+    h = np.empty((cycles, d - 1, d - 1), dtype=bool)
+    m = np.empty((cycles, d - 1, d), dtype=bool)
+    for t in range(cycles):
+        v[t], h[t], m[t] = sampler.draw(t, rng)
+
+    lattice = SyndromeLattice(d)
+    activity = lattice.per_cycle_activity(v, h, m)
+    over, n_over = _windowed_over(activity, c_win, driver.v_th)
+
+    # Windowed index k corresponds to cycle t = k + c_win - 1.
+    pre = max(0, driver.onset - (c_win - 1))
+    false_positive = bool(np.any(n_over[:pre] > driver.n_th))
+    fired = np.flatnonzero(n_over[pre:] > driver.n_th)
+    event_cycle = -1
+    estimated: Optional[AnomalousRegion] = None
+    flag_mask: Optional[np.ndarray] = None
+    position_error = float("nan")
+    stop = cycles
+    if len(fired):
+        event_cycle = int(fired[0]) + pre + c_win - 1
+        flag_mask = over[event_cycle - (c_win - 1)].copy()
+        flag_r, flag_c = np.nonzero(flag_mask)
+        row, col = int(np.median(flag_r)), int(np.median(flag_c))
+        estimated = estimate_strike_region(
+            d, driver.anomaly_size, row, col,
+            max(0, event_cycle - c_win))
+        centre_r = region.row_lo + (driver.anomaly_size - 1) / 2.0
+        centre_c = region.col_lo + (driver.anomaly_size - 1) / 2.0
+        position_error = math.hypot(row - centre_r, col - centre_c)
+        stop = min(cycles, event_cycle + d)
+
+    nodes = lattice.detection_events(v[:stop], h[:stop], m[:stop])
+    err = int(lattice.error_cut_parity(v[:stop]))
+    naive, detected_p, oracle = driver._decode(nodes, region, estimated)
+    return StreamResult(
+        false_positive=false_positive,
+        detected=event_cycle >= 0,
+        event_cycle=event_cycle,
+        latency_cycles=(event_cycle - driver.onset
+                        if event_cycle >= 0 else -1),
+        stop=stop,
+        flag_mask=flag_mask,
+        estimated=estimated,
+        position_error=position_error,
+        naive_failure=err ^ naive,
+        detected_failure=err ^ detected_p,
+        oracle_failure=err ^ oracle,
+        peak_live_rounds=stop,   # the offline scan holds the whole stream
+        round_latencies_s=None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Latency accounting
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LatencyStats:
+    """Per-round wall-clock summary of a streamed run."""
+
+    rounds: int
+    p50_us: float
+    p99_us: float
+    mean_us: float
+    rounds_per_sec: float
+
+
+@dataclass(frozen=True)
+class StreamingPerformance:
+    """Campaign-level summary of a batch of streamed trials.
+
+    The detection/decode counters mirror
+    :class:`repro.sim.detection.DetectionPerformance` /
+    :class:`repro.sim.endtoend.EndToEndResult` so streamed campaigns
+    read like their offline counterparts; ``latency`` adds the
+    per-round wall-clock envelope and ``peak_live_rounds`` the memory
+    high-water mark (bounded by ``c_win`` by construction).
+    """
+
+    trials: int
+    false_positives: int
+    detections: int
+    naive_failures: int
+    detected_failures: int
+    oracle_failures: int
+    mean_latency: float          # detection latency, code cycles
+    mean_position_error: float
+    latency: LatencyStats        # per-round wall clocks
+    peak_live_rounds: int
+    results: tuple[StreamResult, ...]
+
+    @property
+    def false_positive_rate(self) -> float:
+        return self.false_positives / self.trials
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.detections / self.trials
+
+
+def latency_stats(latencies_s: np.ndarray) -> LatencyStats:
+    """Summarize per-round wall clocks (seconds in, µs + rate out)."""
+    lat = np.asarray(latencies_s, dtype=np.float64)
+    if not len(lat):
+        raise ValueError("no round latencies to summarize")
+    total = float(lat.sum())
+    return LatencyStats(
+        rounds=len(lat),
+        p50_us=float(np.percentile(lat, 50) * 1e6),
+        p99_us=float(np.percentile(lat, 99) * 1e6),
+        mean_us=float(lat.mean() * 1e6),
+        rounds_per_sec=(len(lat) / total if total > 0 else float("inf")),
+    )

@@ -24,6 +24,9 @@ from repro.sim.detection import run_detection_trials
 from repro.sim.endtoend import EndToEndExperiment
 from repro.sim.memory import MemoryExperiment
 
+from reference_engines import (reference_detection_trials,
+                               reference_endtoend_run)
+
 
 class TestBatchedPrimitives:
     """sample_batch / batched lattice extraction agree with the
@@ -526,7 +529,7 @@ class TestEndToEndBatch:
         exp = EndToEndExperiment(9, 0.008, anomaly_size=3, onset=60,
                                  cycles=140, c_win=50, n_th=6)
         shots = 120
-        seq = exp.run(shots, np.random.default_rng(41), engine="reference")
+        seq = reference_endtoend_run(exp, shots, np.random.default_rng(41))
         bat = exp.run(shots, workers=1, seed=41)
         for key in ("naive", "detected", "oracle"):
             p = (seq.rates()[key] + bat.rates()[key]) / 2
@@ -558,7 +561,7 @@ class TestDetectionTrialsBatch:
         outcomes within Monte-Carlo resolution."""
         kwargs = dict(distance=11, p=1e-3, p_ano=0.05, anomaly_size=3,
                       c_win=100, n_th=8, trials=16)
-        seq = run_detection_trials(seed=23, engine="reference", **kwargs)
+        seq = reference_detection_trials(seed=23, **kwargs)
         bat = run_detection_trials(seed=23, workers=1, **kwargs)
         assert seq.miss_rate == bat.miss_rate == 0.0
         assert abs(seq.false_positive_rate - bat.false_positive_rate) <= 0.5

@@ -43,6 +43,25 @@ class TestClassify:
         assert cb.classify("required_window.ratio_10") == "drift"
         assert cb.classify("mean_latency_cycles.pano_over_p_10") == "drift"
 
+    def test_latency_leaves_are_lower_better(self, cb):
+        """Streaming latency percentiles are judged lower-is-better."""
+        assert cb.classify(
+            "streaming_latency.p50_round_latency_us") == "lower"
+        assert cb.classify(
+            "streaming_latency.p99_round_latency_us") == "lower"
+        assert cb.classify("mean_round_latency_us") == "lower"
+
+    def test_per_us_rates_stay_throughput_shaped(self, cb):
+        """Regression: ``matches_per_us`` (table4) is a *throughput*
+        whose leaf happens to end in ``_us`` — the latency class must
+        not claim it, or a faster matcher would fail CI."""
+        assert cb.classify(
+            "table4_resources.configs.40_-_BASE.matches_per_us") == "drift"
+        assert cb.classify(
+            "table4_sw_matching.modelled_matches_per_us") == "drift"
+        assert cb.classify("table4_sw_matching.sw_matches_per_sec") == "drift"
+        assert cb.classify("streaming_latency.rounds_per_sec") == "drift"
+
 
 class TestCompare:
     def test_identical_docs_clean(self, cb):
@@ -74,6 +93,19 @@ class TestCompare:
         assert cb.compare(fresh, base)[0] == []
         regs, _, _ = cb.compare(fresh, base, all_metrics=True)
         assert len(regs) == 1
+
+    def test_latency_regression_flagged_under_all_metrics(self, cb):
+        base = _doc(streaming_latency={"p99_round_latency_us": 40.0})
+        fresh = _doc(streaming_latency={"p99_round_latency_us": 90.0})
+        assert cb.compare(fresh, base)[0] == []
+        regs, _, _ = cb.compare(fresh, base, all_metrics=True)
+        assert len(regs) == 1 and "p99_round_latency_us" in regs[0]
+
+    def test_latency_improvement_never_flags(self, cb):
+        base = _doc(streaming_latency={"p99_round_latency_us": 40.0})
+        fresh = _doc(streaming_latency={"p99_round_latency_us": 5.0})
+        regs, drifts, _ = cb.compare(fresh, base, all_metrics=True)
+        assert regs == [] and drifts == []
 
     def test_certification_flag_flip_is_fatal(self, cb):
         base = _doc(decode_stage={"campaign_failures_bit_equal": True})

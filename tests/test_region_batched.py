@@ -4,9 +4,9 @@ PR 4's tentpole: the cross-shot engine folds *per-shot* anomalous
 regions into its bucket tensors, the end-to-end and detection kernels
 decode whole chunks through it, and the sequential ``workers=0``
 experiment branches are retired onto the batched kernels.  Everything
-here certifies bit-equality against the per-shot references that stay
-in tree (``greedy_cut_parity``, ``decode="pershot"``,
-``engine="reference"``).
+here certifies bit-equality against the per-shot references
+(``greedy_cut_parity``, ``decode="pershot"``, and the retired per-cycle
+loops now housed in ``tests/reference_engines.py``).
 """
 
 import numpy as np
@@ -18,6 +18,9 @@ from repro.decoding.greedy import greedy_cut_parity
 from repro.decoding.weights import DistanceModel, region_signature
 from repro.noise.models import AnomalousRegion
 from repro.sim.batch import DetectionShotKernel, EndToEndShotKernel
+
+from reference_engines import (reference_detection_trials,
+                               reference_endtoend_run)
 from repro.sim.detection import run_detection_trials
 from repro.sim.endtoend import EndToEndExperiment
 
@@ -254,8 +257,8 @@ class TestDetectionKernelScanModes:
 
 
 class TestRetiredSequentialBranches:
-    """workers=0 now rides the batched kernels; engine="reference"
-    keeps the per-cycle loops for the equivalence suite."""
+    """workers=0 now rides the batched kernels; the per-cycle loops
+    survive only in tests/reference_engines.py."""
 
     def test_endtoend_workers0_deterministic_and_pool_invariant(self):
         exp = EndToEndExperiment(9, 0.008, anomaly_size=3, onset=60,
@@ -272,14 +275,14 @@ class TestRetiredSequentialBranches:
     def test_endtoend_reference_engine_still_streams(self):
         exp = EndToEndExperiment(9, 0.008, anomaly_size=3, onset=40,
                                  cycles=90, c_win=30, n_th=5)
-        res = exp.run(4, np.random.default_rng(2), engine="reference")
+        res = reference_endtoend_run(exp, 4, np.random.default_rng(2))
         assert res.shots == 4
         assert 0 <= res.naive_failures <= 4
 
-    def test_endtoend_bad_engine_rejected(self):
+    def test_endtoend_engine_knob_is_retired(self):
         exp = EndToEndExperiment(9, 0.008, onset=40, cycles=90)
-        with pytest.raises(ValueError):
-            exp.run(2, engine="sequential")
+        with pytest.raises(TypeError):
+            exp.run(2, engine="reference")
 
     def test_detection_workers0_deterministic(self):
         kwargs = dict(distance=11, p=1e-3, p_ano=0.05, anomaly_size=3,
@@ -290,10 +293,10 @@ class TestRetiredSequentialBranches:
         assert a.false_positives == b.false_positives
         assert np.isclose(a.mean_latency, b.mean_latency, equal_nan=True)
 
-    def test_detection_bad_engine_rejected(self):
-        with pytest.raises(ValueError):
+    def test_detection_engine_knob_is_retired(self):
+        with pytest.raises(TypeError):
             run_detection_trials(5, 1e-3, 0.05, 2, 40, trials=2,
-                                 engine="streamed")
+                                 engine="reference")
 
     @pytest.mark.slow
     @pytest.mark.parametrize("d,p_ano,anomaly_size,onset",
@@ -306,7 +309,7 @@ class TestRetiredSequentialBranches:
                                  anomaly_size=anomaly_size, onset=onset,
                                  cycles=onset + 50, c_win=25, n_th=4)
         shots = 60
-        seq = exp.run(shots, np.random.default_rng(13), engine="reference")
+        seq = reference_endtoend_run(exp, shots, np.random.default_rng(13))
         bat = exp.run(shots, seed=13)
         for key in ("naive", "detected", "oracle"):
             p = (seq.rates()[key] + bat.rates()[key]) / 2
@@ -323,7 +326,7 @@ class TestRetiredSequentialBranches:
         kwargs = dict(distance=9, p=1.5e-2, p_ano=0.5, anomaly_size=3,
                       c_win=20, n_th=2, trials=24, normal_cycles=60,
                       post_cycles=60)
-        seq = run_detection_trials(seed=29, engine="reference", **kwargs)
+        seq = reference_detection_trials(seed=29, **kwargs)
         bat = run_detection_trials(seed=29, **kwargs)
         assert seq.false_positives > 0  # the regime exercises discards
         assert abs(seq.false_positive_rate - bat.false_positive_rate) <= 0.35

@@ -1,0 +1,256 @@
+"""Streaming/online detection mode: equivalence, memory, latency.
+
+The load-bearing suite for the PR 7 streaming tentpole:
+
+* the offline≡streaming equivalence invariant — per rng seed,
+  :meth:`StreamingTrialDriver.run` and :func:`replay_offline` (the
+  offline windowed scan over the identical round stream) agree bit for
+  bit on every seed-determined outcome;
+* bounded memory — the online path's peak live rounds never exceeds
+  the detection window, whatever the stream length;
+* the ring window's integer counts equal the offline cumsum windows;
+* the incremental extractor equals the whole-tensor lattice math;
+* :class:`StreamingSpec` validation, round-trip, and campaign
+  reproducibility (outcomes depend on ``spec.seed`` alone).
+"""
+
+import numpy as np
+import pytest
+
+from repro import campaigns
+from repro.campaigns import StreamingSpec
+from repro.decoding.graph import SyndromeLattice
+from repro.hwmodel.pipeline import StreamSLO
+from repro.sim.batch import _windowed_over
+from repro.streaming import (
+    RoundSampler,
+    RoundWindow,
+    StreamingTrialDriver,
+    SyndromeStream,
+    latency_stats,
+    replay_offline,
+)
+
+_FREE_CLOCK = lambda: 0.0  # noqa: E731 -- equivalence runs untimed
+
+
+def _driver(distance=5, p=4e-3, p_ano=0.5, anomaly_size=3, onset=40,
+            cycles=90, c_win=20, n_th=6, alpha=0.01):
+    return StreamingTrialDriver(distance, p, p_ano, anomaly_size,
+                                onset, cycles, c_win, n_th, alpha)
+
+
+class TestOfflineStreamingEquivalence:
+    """The invariant itself, swept across the configuration axes."""
+
+    def _assert_equivalent(self, driver, seed):
+        online = driver.run(np.random.default_rng(seed),
+                            clock=_FREE_CLOCK)
+        offline = replay_offline(driver, np.random.default_rng(seed))
+        np.testing.assert_equal(online.outcomes(), offline.outcomes())
+        return online
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_seed_sweep_default_config(self, seed):
+        self._assert_equivalent(_driver(), seed)
+
+    @pytest.mark.parametrize("distance", [3, 5, 7])
+    def test_distance_sweep(self, distance):
+        driver = _driver(distance=distance)
+        for seed in range(4):
+            self._assert_equivalent(driver, seed)
+
+    @pytest.mark.parametrize("c_win,onset", [
+        (1, 10),      # degenerate single-round window
+        (8, 4),       # onset inside the first window: no FP possible
+        (30, 60),     # long window, late onset
+    ])
+    def test_window_geometry_sweep(self, c_win, onset):
+        driver = _driver(c_win=c_win, onset=onset, cycles=onset + 60)
+        for seed in range(4):
+            self._assert_equivalent(driver, seed)
+
+    @pytest.mark.parametrize("anomaly_size", [2, 4])
+    def test_anomaly_size_sweep(self, anomaly_size):
+        driver = _driver(anomaly_size=anomaly_size)
+        for seed in range(4):
+            self._assert_equivalent(driver, seed)
+
+    def test_quiet_stream_misses_cleanly(self):
+        """p_ano == p: nothing to detect; both paths agree on the miss."""
+        driver = _driver(p_ano=4e-3, n_th=10_000)
+        result = self._assert_equivalent(driver, 0)
+        assert not result.detected
+        assert result.event_cycle == -1
+        assert np.isnan(result.position_error)
+
+    def test_false_positive_path_agrees(self):
+        """A hair-trigger threshold trips pre-onset on both paths."""
+        driver = _driver(n_th=-1, onset=60, c_win=10, cycles=90)
+        online = driver.run(np.random.default_rng(1), clock=_FREE_CLOCK)
+        offline = replay_offline(driver, np.random.default_rng(1))
+        assert online.false_positive and offline.false_positive
+        np.testing.assert_equal(online.outcomes(), offline.outcomes())
+
+
+class TestBoundedMemory:
+    def test_peak_live_rounds_bounded_by_window(self):
+        driver = _driver(c_win=15, cycles=120)
+        for seed in range(6):
+            result = driver.run(np.random.default_rng(seed),
+                                clock=_FREE_CLOCK)
+            assert result.peak_live_rounds <= 15
+
+    def test_offline_replay_holds_whole_stream(self):
+        """The replay is the memory *anti*-baseline the bound beats."""
+        driver = _driver(c_win=15, cycles=120)
+        offline = replay_offline(driver, np.random.default_rng(0))
+        assert offline.peak_live_rounds == offline.stop
+        assert offline.peak_live_rounds > 15
+
+    def test_round_latencies_cover_processed_rounds_only(self):
+        driver = _driver()
+        result = driver.run(np.random.default_rng(3), clock=_FREE_CLOCK)
+        assert result.round_latencies_s is not None
+        assert len(result.round_latencies_s) == result.stop
+
+
+class TestRoundWindow:
+    def test_counts_match_offline_cumsum_windows(self):
+        rng = np.random.default_rng(7)
+        cycles, c_win, shape = 40, 9, (4, 5)
+        activity = (rng.random((cycles,) + shape) < 0.3).astype(np.uint8)
+        _, n_over_offline = _windowed_over(activity, c_win, v_th=1)
+        window = RoundWindow(c_win, shape)
+        online = []
+        for t in range(cycles):
+            if window.push(activity[t]):
+                online.append(window.n_over(1))
+        np.testing.assert_array_equal(np.asarray(online), n_over_offline)
+
+    def test_full_and_live_rounds_progression(self):
+        window = RoundWindow(3, (2, 2))
+        layer = np.ones((2, 2), dtype=np.int32)
+        assert not window.push(layer) and window.live_rounds == 1
+        assert not window.push(layer) and window.live_rounds == 2
+        assert window.push(layer) and window.full
+        window.push(layer)
+        assert window.live_rounds == 3 and window.peak_live_rounds == 3
+        # Counts saturate at c_win once the ring wraps.
+        assert int(window.counts.max()) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoundWindow(0, (2, 2))
+        window = RoundWindow(2, (2, 2))
+        with pytest.raises(ValueError):
+            window.push(np.ones((3, 3), dtype=np.int32))
+
+
+class TestSyndromeStream:
+    def test_matches_whole_tensor_lattice_math(self):
+        d, cycles = 5, 30
+        rng = np.random.default_rng(11)
+        sampler = RoundSampler(d, 0.05, 0.5, None)
+        v = np.empty((cycles, d, d), dtype=bool)
+        h = np.empty((cycles, d - 1, d - 1), dtype=bool)
+        m = np.empty((cycles, d - 1, d), dtype=bool)
+        stream = SyndromeStream(d)
+        layers = []
+        for t in range(cycles):
+            v[t], h[t], m[t] = sampler.draw(t, rng)
+            layers.append(stream.push(v[t], h[t], m[t]))
+        expected = SyndromeLattice(d).per_cycle_activity(v, h, m)
+        np.testing.assert_array_equal(np.asarray(layers), expected)
+        assert stream.north_parity == int(v[:, 0, :].sum()) % 2
+
+
+class TestLatencyStats:
+    def test_summary_and_units(self):
+        stats = latency_stats(np.full(100, 2e-6))
+        assert stats.rounds == 100
+        assert stats.p50_us == pytest.approx(2.0)
+        assert stats.p99_us == pytest.approx(2.0)
+        assert stats.rounds_per_sec == pytest.approx(5e5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latency_stats(np.array([]))
+
+    def test_slo_judgement(self):
+        slo = StreamSLO(code_cycle_us=1.0)
+        assert slo.met_by(0.5) and not slo.met_by(2.0)
+        assert slo.headroom(0.5) == pytest.approx(2.0)
+        assert slo.headroom(0.0) == float("inf")
+
+
+class TestStreamingSpec:
+    def test_defaults_and_resolved_cycles(self):
+        spec = StreamingSpec(distance=5, p=2e-3)
+        assert spec.kind == "streaming"
+        assert spec.resolved_cycles() == (2 * spec.c_win, 4 * spec.c_win)
+        spec = StreamingSpec(distance=5, p=2e-3, normal_cycles=30,
+                             post_cycles=50)
+        assert spec.resolved_cycles() == (30, 50)
+
+    @pytest.mark.parametrize("bad", [
+        dict(trials=0),
+        dict(c_win=0),
+        dict(n_th=-1),
+        dict(code_cycle_us=0.0),
+        dict(p=1.5),
+    ])
+    def test_validation(self, bad):
+        kwargs = {"distance": 5, "p": 2e-3, **bad}
+        with pytest.raises(campaigns.SpecError):
+            StreamingSpec(**kwargs)
+
+    def test_round_trip(self):
+        spec = StreamingSpec(distance=7, p=1e-3, c_win=40, n_th=5,
+                             trials=9, seed=123, code_cycle_us=2.0)
+        doc = campaigns.spec_to_dict(spec)
+        assert doc["kind"] == "streaming"
+        assert campaigns.spec_from_dict(doc) == spec
+
+
+class TestStreamingCampaign:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return StreamingSpec(distance=5, p=2e-3, c_win=15, n_th=6,
+                             trials=6, seed=42)
+
+    def test_seed_determined_outcomes(self, spec):
+        """Wall clocks aside, two runs of one spec agree exactly."""
+        first = campaigns.run(spec)
+        second = campaigns.run(spec)
+        assert first.counts == second.counts
+        timing_keys = {"p50_round_latency_us", "p99_round_latency_us",
+                       "rounds_per_sec", "slo_headroom"}
+        for key in first.estimates.keys() - timing_keys:
+            np.testing.assert_equal(first.estimates[key],
+                                    second.estimates[key])
+
+    def test_counts_and_memory_bound(self, spec):
+        result = campaigns.run(spec)
+        assert result.counts["trials"] == spec.trials
+        assert result.counts["peak_live_rounds"] <= spec.c_win
+        assert result.detail.latency.rounds == result.counts["rounds"]
+        assert result.estimates["p99_round_latency_us"] >= \
+            result.estimates["p50_round_latency_us"] >= 0.0
+
+    def test_matches_direct_driver_outcomes(self, spec):
+        """The campaign layer adds no rng of its own: its per-trial
+        outcomes equal directly driven trials on the chunk-plan seeds."""
+        from repro.sim.batch import chunk_plan
+
+        normal, post = spec.resolved_cycles()
+        driver = StreamingTrialDriver(
+            spec.distance, spec.p, spec.p_ano, spec.anomaly_size,
+            onset=normal, cycles=normal + post, c_win=spec.c_win,
+            n_th=spec.n_th, alpha=spec.alpha)
+        expected = [driver.run(np.random.default_rng(seed),
+                               clock=_FREE_CLOCK)
+                    for _, seed in chunk_plan(spec.trials, 1, spec.seed)]
+        result = campaigns.run(spec)
+        for got, want in zip(result.detail.results, expected, strict=True):
+            np.testing.assert_equal(got.outcomes(), want.outcomes())
