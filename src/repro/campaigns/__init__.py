@@ -18,7 +18,10 @@ them:
   batched shot kernels and returns a uniform :class:`CampaignResult`
   with a provenance block.
 * **Executors** (:mod:`~repro.campaigns.executors`) decide where chunks
-  run: inline, a process pool, or (interface) a distributed transport.
+  run: inline, a process pool, or a distributed transport — the
+  reference transport is the fault-tolerant filesystem work queue
+  (:mod:`~repro.campaigns.distributed`, served by ``python -m repro
+  worker``, chaos-tested via :mod:`~repro.campaigns.faults`).
 * **Checkpoints** (:mod:`~repro.campaigns.checkpoint`) record finished
   chunks in JSONL shards keyed by spec hash, so killed campaigns resume
   bit-identically.
@@ -29,6 +32,9 @@ line.  See ``docs/API.md`` for the full schema.
 
 from repro.campaigns.checkpoint import (CheckpointError, CheckpointStore,
                                         ShardFile)
+from repro.campaigns.distributed import (Worker, WorkerCrashed,
+                                         WorkQueueError, WorkQueueExecutor,
+                                         serve)
 from repro.campaigns.executors import (DistributedExecutor, Executor,
                                        InlineExecutor, ProcessPoolExecutor,
                                        default_executor)
@@ -61,7 +67,12 @@ __all__ = [
     "Sweep",
     "SweepResult",
     "ThroughputSpec",
+    "WorkQueueError",
+    "WorkQueueExecutor",
+    "Worker",
+    "WorkerCrashed",
     "default_executor",
+    "serve",
     "derive_seed",
     "register_campaign",
     "registered_kinds",

@@ -51,6 +51,70 @@ def _payload_crc(dtype: str, shape: list, data: list) -> int:
     return zlib.crc32(doc.encode("utf-8"))
 
 
+def chunk_record(index: int, outcome: np.ndarray, cache_stats: tuple) -> dict:
+    """One finished chunk as its CRC-stamped wire record.
+
+    This is *the* chunk wire format: shard files append these records,
+    and the distributed work queue (:mod:`repro.campaigns.distributed`)
+    ships the identical record as a worker's result payload — one
+    format, one CRC, one parser (:func:`decode_chunk`).
+    """
+    dtype = str(outcome.dtype)
+    if dtype not in _DTYPES:
+        raise CheckpointError(
+            f"cannot checkpoint outcomes of dtype {dtype!r}")
+    shape = list(outcome.shape)
+    data = outcome.tolist()
+    return {
+        "type": "chunk",
+        "index": int(index),
+        "shots": int(len(outcome)),
+        "dtype": dtype,
+        "shape": shape,
+        "data": data,
+        "cache": [int(c) for c in cache_stats],
+        "crc": _payload_crc(dtype, shape, data),
+    }
+
+
+def decode_chunk(
+        record, where: str) -> tuple[int, np.ndarray, tuple[int, int, int]]:
+    """Validate a chunk wire record back into ``(index, outcomes, stats)``.
+
+    ``where`` names the record's origin for error messages (a shard
+    line, a queue result file).  Raises :class:`CheckpointError` on any
+    malformation — wrong type, missing fields, CRC mismatch, payload
+    not matching its declared shape/dtype.
+    """
+    if not isinstance(record, dict) or record.get("type") != "chunk":
+        raise CheckpointError(f"{where} is not a chunk record")
+    try:
+        index = record["index"]
+        dtype, shape = record["dtype"], record["shape"]
+        data, cache = record["data"], record["cache"]
+        crc = record["crc"]
+    except KeyError as exc:
+        raise CheckpointError(f"{where} is missing field {exc}") from exc
+    if not isinstance(index, int) or index < 0:
+        raise CheckpointError(f"{where} has a bad chunk index")
+    if dtype not in _DTYPES:
+        raise CheckpointError(f"{where} has unsupported dtype {dtype!r}")
+    if crc != _payload_crc(dtype, shape, data):
+        raise CheckpointError(
+            f"{where} failed its CRC — the record is corrupted; delete "
+            "it to recompute from scratch")
+    try:
+        outcome = np.asarray(data, dtype=dtype).reshape(shape)
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"{where} payload does not match its declared shape/dtype "
+            f"({exc})") from exc
+    if not (isinstance(cache, list) and len(cache) == 3
+            and all(isinstance(c, int) for c in cache)):
+        raise CheckpointError(f"{where} has a bad cache-stats triple")
+    return index, outcome, (cache[0], cache[1], cache[2])
+
+
 class ShardFile:
     """One spec's chunk records (``<dir>/<spec_hash>.jsonl``)."""
 
@@ -124,38 +188,7 @@ class ShardFile:
         self.recorded_batch_size = batch_size
 
     def _parse_chunk(self, record, pos: int):
-        if not isinstance(record, dict) or record.get("type") != "chunk":
-            raise CheckpointError(
-                f"{self.path}: line {pos} is not a chunk record")
-        try:
-            index = record["index"]
-            dtype, shape = record["dtype"], record["shape"]
-            data, cache = record["data"], record["cache"]
-            crc = record["crc"]
-        except KeyError as exc:
-            raise CheckpointError(
-                f"{self.path}: line {pos} is missing field {exc}") from exc
-        if not isinstance(index, int) or index < 0:
-            raise CheckpointError(
-                f"{self.path}: line {pos} has a bad chunk index")
-        if dtype not in _DTYPES:
-            raise CheckpointError(
-                f"{self.path}: line {pos} has unsupported dtype {dtype!r}")
-        if crc != _payload_crc(dtype, shape, data):
-            raise CheckpointError(
-                f"{self.path}: line {pos} failed its CRC — the shard is "
-                "corrupted; delete it to recompute from scratch")
-        try:
-            outcome = np.asarray(data, dtype=dtype).reshape(shape)
-        except (TypeError, ValueError) as exc:
-            raise CheckpointError(
-                f"{self.path}: line {pos} payload does not match its "
-                f"declared shape/dtype ({exc})") from exc
-        if not (isinstance(cache, list) and len(cache) == 3
-                and all(isinstance(c, int) for c in cache)):
-            raise CheckpointError(
-                f"{self.path}: line {pos} has a bad cache-stats triple")
-        return index, outcome, tuple(cache)
+        return decode_chunk(record, f"{self.path}: line {pos}")
 
     # ------------------------------------------------------------------
     def _drop_partial_tail(self) -> None:
@@ -189,26 +222,16 @@ class ShardFile:
         ``batch_size`` is the campaign's *effective* chunk size; it goes
         into the header so a later resume rebuilds the exact same chunk
         plan even under a different executor.
+
+        Every record is flushed before returning; whether it is also
+        fsynced is the ``REPRO_CHECKPOINT_FSYNC`` knob
+        (:func:`repro.config.checkpoint_fsync`, on by default).
         """
+        from repro import config
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._drop_partial_tail()
         is_new = not self.path.exists() or self.path.stat().st_size == 0
-        dtype = str(outcome.dtype)
-        if dtype not in _DTYPES:
-            raise CheckpointError(
-                f"cannot checkpoint outcomes of dtype {dtype!r}")
-        shape = list(outcome.shape)
-        data = outcome.tolist()
-        record = {
-            "type": "chunk",
-            "index": int(index),
-            "shots": int(len(outcome)),
-            "dtype": dtype,
-            "shape": shape,
-            "data": data,
-            "cache": [int(c) for c in cache_stats],
-            "crc": _payload_crc(dtype, shape, data),
-        }
+        record = chunk_record(index, outcome, cache_stats)
         with open(self.path, "a", encoding="utf-8") as fh:
             if is_new:
                 header = {"type": "header", "format": FORMAT,
@@ -219,7 +242,8 @@ class ShardFile:
                 fh.write(json.dumps(header) + "\n")
             fh.write(json.dumps(record) + "\n")
             fh.flush()
-            os.fsync(fh.fileno())
+            if config.checkpoint_fsync():
+                os.fsync(fh.fileno())
 
 
 class CheckpointStore:

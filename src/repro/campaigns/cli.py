@@ -8,11 +8,16 @@ Subcommands:
 * ``validate SPEC.json`` — parse + validate only (exit 1 on a bad spec).
 * ``hash SPEC.json``     — print the spec hash that keys checkpoints
   and provenance.
+* ``worker QUEUE_DIR``   — serve a distributed work queue: claim chunk
+  tasks, rebuild kernels from their spec JSON, deliver CRC-stamped
+  result records (see :mod:`repro.campaigns.distributed` and
+  docs/API.md).
 
 ``SPEC.json`` may be ``-`` for stdin.  Executor syntax: ``inline``
 (whole-request in-process, the default), ``inline-chunked`` (kernel
-fan-out chunk size), or ``pool:N`` (process pool of N workers);
-omitted, ``REPRO_WORKERS`` decides.
+fan-out chunk size), ``pool:N`` (process pool of N workers), or
+``queue:DIR`` (supervise the filesystem work queue at DIR, served by
+``worker`` processes); omitted, ``REPRO_WORKERS`` decides.
 """
 
 from __future__ import annotations
@@ -42,9 +47,12 @@ def parse_executor(value: Optional[str]) -> Executor:
         return InlineExecutor(whole_request=False)
     if value.startswith("pool:"):
         return ProcessPoolExecutor(int(value.split(":", 1)[1]))
+    if value.startswith("queue:"):
+        from repro.campaigns.distributed import WorkQueueExecutor
+        return WorkQueueExecutor(value.split(":", 1)[1])
     raise argparse.ArgumentTypeError(
         f"unknown executor {value!r} (choices: inline, inline-chunked, "
-        "pool:N)")
+        "pool:N, queue:DIR)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,11 +76,44 @@ def build_parser() -> argparse.ArgumentParser:
 
     hash_p = sub.add_parser("hash", help="print a spec's hash")
     hash_p.add_argument("spec", help="spec JSON path, or - for stdin")
+
+    worker_p = sub.add_parser(
+        "worker", help="serve a distributed work queue")
+    worker_p.add_argument("queue", help="queue directory (shared filesystem)")
+    worker_p.add_argument("--id", default=None, metavar="NAME",
+                          help="worker id (default: w<pid>)")
+    worker_p.add_argument("--poll", type=float, default=0.2, metavar="S",
+                          help="seconds between idle queue polls")
+    worker_p.add_argument("--max-chunks", type=int, default=None,
+                          metavar="N", help="exit after N chunks")
+    worker_p.add_argument("--idle-exit", type=float, default=None,
+                          metavar="S", help="exit after S idle seconds")
+    worker_p.add_argument("--fault-plan", default=None, metavar="PATH",
+                          help="JSON FaultPlan to inject (chaos testing)")
     return parser
+
+
+def _run_worker(args) -> int:
+    from repro.campaigns.distributed import WorkerCrashed, serve
+    faults = None
+    if args.fault_plan is not None:
+        from repro.campaigns.faults import FaultInjector, FaultPlan
+        faults = FaultInjector(FaultPlan.load(args.fault_plan))
+    try:
+        done = serve(args.queue, args.id, poll_s=args.poll,
+                     max_chunks=args.max_chunks,
+                     idle_exit_s=args.idle_exit, faults=faults)
+    except WorkerCrashed as exc:
+        print(f"worker crashed: {exc}", file=sys.stderr)
+        return 3
+    print(f"worker done: {done} chunks", file=sys.stderr)
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "worker":
+        return _run_worker(args)
     try:
         spec = _read_spec(args.spec)
     except OSError as exc:

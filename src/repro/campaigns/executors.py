@@ -18,15 +18,20 @@ Three implementations:
 * :class:`ProcessPoolExecutor` — today's :class:`~repro.sim.batch`
   ``multiprocessing`` fan-out: per-worker kernel/decoder reuse, ordered
   ``imap`` streaming.
-* :class:`DistributedExecutor` — the multi-host seam, interface only.
-  Subclasses implement :meth:`DistributedExecutor.dispatch`; the
-  placement-independence contract above is exactly what makes remote
-  dispatch safe (results merge by chunk index, bit-identical to a local
-  run).
+* :class:`DistributedExecutor` — the multi-host seam.  Subclasses
+  implement :meth:`DistributedExecutor.dispatch` (or override
+  ``run_chunks`` wholesale); the placement-independence contract above
+  is exactly what makes remote dispatch safe (results merge by chunk
+  index, bit-identical to a local run).  The reference transport is
+  :class:`repro.campaigns.distributed.WorkQueueExecutor` — a
+  fault-tolerant filesystem work queue served by
+  ``python -m repro worker``.
 """
 
 from __future__ import annotations
 
+import collections
+import itertools
 import multiprocessing
 from typing import Iterator, Optional
 
@@ -46,14 +51,41 @@ class Executor:
     #: fan-out default.  True only for the in-process path.
     whole_request = False
 
+    def bind(self, spec, *, batch_size: int, shots: int,
+             indices: list) -> None:
+        """Hand the executor the campaign context before ``run_chunks``.
+
+        The runner calls this once per campaign, immediately before
+        :meth:`run_chunks`: ``spec`` is the campaign spec, ``batch_size``
+        the *effective* chunk size, ``shots`` the total request, and
+        ``indices`` the plan index of each task that ``run_chunks`` will
+        receive (resumed chunks are absent).  In-process executors need
+        none of it (the default is a no-op); a transport executor needs
+        all of it — a remote worker rebuilds the kernel from the spec
+        JSON and re-derives its chunk seed from
+        ``(seed, batch_size, index)`` via
+        :func:`repro.sim.batch.chunk_plan`.
+        """
+
+    def accounting(self) -> Optional[dict]:
+        """Supervisor accounting for the most recent ``run_chunks``.
+
+        ``None`` for executors with nothing to report; a transport
+        returns its robustness counters (attempts, re-dispatches,
+        quarantined chunks, ...) which the runner surfaces through the
+        :class:`~repro.campaigns.results.Provenance` block.
+        """
+        return None
+
     def run_chunks(self, kernel, packing: str,
                    tasks: list) -> Iterator[tuple[np.ndarray, tuple]]:
         """Yield ``(outcomes, cache_stats)`` per task, in task order.
 
-        ``tasks`` is a list of ``(size, numpy.random.SeedSequence)``.
+        ``tasks`` is a sequence of ``(size, numpy.random.SeedSequence)``.
         Implementations may compute lazily — the consumer stops
-        iterating when a campaign early-stops — but must preserve
-        order, and must derive each chunk's generator as
+        iterating when a campaign early-stops, so implementations must
+        not eagerly run every task up front — but must preserve order,
+        and must derive each chunk's generator as
         ``np.random.default_rng(child)`` so outcomes stay placement
         independent.
         """
@@ -93,24 +125,48 @@ class ProcessPoolExecutor(Executor):
     Each worker builds its kernel (and decoder, scratch arena, matching
     cache) once and reuses it for every chunk it is handed; results
     stream back in task order.
+
+    Submissions are windowed: at most ``max_inflight`` chunks (default
+    ``2 * workers``) are outstanding at any moment, and the next task is
+    pulled from ``tasks`` only when a finished chunk is consumed.  An
+    early-stopped campaign therefore wastes at most one window of
+    compute — the pre-PR-8 ``pool.imap(list(tasks))`` submitted *every*
+    chunk up front, so a ``target_rel_width`` campaign that stopped
+    after 3 chunks still churned through the whole plan — and closing
+    the result stream terminates the pool promptly.
     """
 
     name = "process-pool"
 
-    def __init__(self, workers: int):
+    def __init__(self, workers: int, max_inflight: Optional[int] = None):
         if workers < 2:
             raise ValueError(
                 "ProcessPoolExecutor needs workers >= 2; use "
                 "InlineExecutor for the in-process path")
+        if max_inflight is not None and max_inflight < workers:
+            raise ValueError("max_inflight must be >= workers")
         self.workers = workers
+        self.max_inflight = (max_inflight if max_inflight is not None
+                             else 2 * workers)
 
     def describe(self) -> str:
         return f"{self.name}({self.workers})"
 
     def run_chunks(self, kernel, packing, tasks):
+        it = iter(tasks)
         with multiprocessing.Pool(self.workers, initializer=_pool_init,
                                   initargs=(kernel, packing)) as pool:
-            yield from pool.imap(_pool_run, list(tasks))
+            inflight = collections.deque(
+                pool.apply_async(_pool_run, (task,))
+                for task in itertools.islice(it, self.max_inflight))
+            while inflight:
+                result = inflight.popleft().get()
+                for task in itertools.islice(it, 1):
+                    inflight.append(pool.apply_async(_pool_run, (task,)))
+                yield result
+        # `with` tears the pool down via terminate() — on normal
+        # exhaustion and on generator close alike, so an early stop
+        # never waits for chunks the campaign no longer needs.
 
 
 class DistributedExecutor(Executor):
@@ -132,9 +188,11 @@ class DistributedExecutor(Executor):
 
     Subclasses implement :meth:`dispatch` (ship one chunk, block for its
     record); :meth:`run_chunks` then behaves like any executor.  The
-    base class exists so campaign code can be written against the seam
-    today and pointed at a real transport when one lands (ROADMAP:
-    multi-host fan-out for the paper-scale six-day campaigns).
+    reference implementation of the protocol is
+    :class:`repro.campaigns.distributed.WorkQueueExecutor`, which
+    overrides ``run_chunks`` wholesale to supervise a filesystem work
+    queue with lease-expiry re-dispatch, retry with backoff, poison-
+    chunk quarantine, and inline drain when the worker pool vanishes.
     """
 
     name = "distributed"

@@ -1,0 +1,215 @@
+"""Deterministic fault injection for the distributed work queue.
+
+Chaos testing is only worth having if a failing schedule can be
+replayed exactly, so everything here is frozen data plus virtual time —
+no threads, no wall clock, no randomness:
+
+* :class:`FaultPlan` — a declarative schedule of :class:`FaultEvent`\\ s,
+  each matching a named injection point in the worker (``claim``,
+  ``computed``, ``write``, ``heartbeat``) against ``(chunk, attempt,
+  worker)`` and prescribing an action: ``crash``, ``stall``, ``torn``,
+  ``corrupt``, ``duplicate`` or ``skip``.  Plans round-trip through
+  JSON (``python -m repro worker --fault-plan plan.json`` replays one
+  against real worker processes).
+* :class:`FaultInjector` — matches fire() calls against the plan,
+  decrementing each event's ``times`` budget and logging what fired.
+* :class:`VirtualClock` — the shared time source; only ``advance()``
+  moves it, so lease expiry and backoff deadlines are functions of the
+  schedule alone.
+* :class:`WorkerPoolSim` — an in-process pool of real
+  :class:`~repro.campaigns.distributed.Worker` objects, pumped one
+  step each from the supervisor's ``idle_hook``.  Workers share the
+  virtual clock; a crash removes the worker (its lease left dangling,
+  its heartbeats frozen), a stall advances time mid-chunk and resumes
+  later — every recovery path in the supervisor is reachable from a
+  single thread, deterministically.
+
+The chaos suite (``tests/test_distributed.py``) runs a campaign under
+every fault plan in its matrix and asserts the result is bit-identical
+to an uninterrupted :class:`~repro.campaigns.executors.InlineExecutor`
+run — the at-least-once-dispatch / idempotent-merge-by-chunk-index
+invariant made checkable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.campaigns.distributed import (Worker, WorkerCrashed,
+                                         WorkQueueExecutor)
+
+#: Injection points, in worker execution order.
+POINTS = ("claim", "computed", "write", "heartbeat")
+
+#: Actions valid at each point.
+ACTIONS = {
+    "claim": ("crash", "stall"),
+    "computed": ("crash", "stall"),
+    "write": ("crash", "torn", "corrupt", "duplicate"),
+    "heartbeat": ("skip",),
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: where it hits, whom it hits, what it does.
+
+    ``chunk``/``attempt``/``worker`` are match filters — ``None``
+    matches anything — and ``times`` is how many matching firings the
+    event spends before going inert.  ``seconds`` parameterises
+    ``stall``; ``fraction`` is where a ``torn`` write cuts the record.
+    """
+
+    point: str
+    action: str
+    chunk: Optional[int] = None
+    attempt: Optional[int] = None
+    worker: Optional[str] = None
+    times: int = 1
+    seconds: float = 0.0
+    fraction: float = 0.5
+
+    def __post_init__(self):
+        if self.point not in POINTS:
+            raise ValueError(f"unknown fault point {self.point!r}; "
+                             f"expected one of {POINTS}")
+        if self.action not in ACTIONS[self.point]:
+            raise ValueError(
+                f"action {self.action!r} is not valid at {self.point!r} "
+                f"(valid: {ACTIONS[self.point]})")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+        if not 0.0 < self.fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        if self.seconds < 0.0:
+            raise ValueError("seconds must be >= 0")
+
+    def to_dict(self) -> dict:
+        return {k: v for k, v in self.__dict__.items()}
+
+    @staticmethod
+    def from_dict(doc: dict) -> "FaultEvent":
+        return FaultEvent(**doc)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, replayable schedule of faults."""
+
+    events: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def to_dict(self) -> dict:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @staticmethod
+    def from_dict(doc: dict) -> "FaultPlan":
+        return FaultPlan(tuple(FaultEvent.from_dict(e)
+                               for e in doc.get("events", ())))
+
+    @staticmethod
+    def from_json(text: str) -> "FaultPlan":
+        return FaultPlan.from_dict(json.loads(text))
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "FaultPlan":
+        return FaultPlan.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+class FaultInjector:
+    """Match fire() calls against a plan; spend each event's budget."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None):
+        self.plan = plan if plan is not None else FaultPlan()
+        self._remaining = [event.times for event in self.plan.events]
+        #: Log of fired events: ``(point, chunk, attempt, worker, action)``.
+        self.fired: list = []
+
+    def fire(self, point: str, *, chunk: Optional[int],
+             attempt: Optional[int], worker: str) -> Optional[FaultEvent]:
+        """The first live matching event, or ``None`` to proceed cleanly."""
+        for pos, event in enumerate(self.plan.events):
+            if self._remaining[pos] <= 0 or event.point != point:
+                continue
+            if event.chunk is not None and event.chunk != chunk:
+                continue
+            if event.attempt is not None and event.attempt != attempt:
+                continue
+            if event.worker is not None and event.worker != worker:
+                continue
+            self._remaining[pos] -= 1
+            self.fired.append((point, chunk, attempt, worker, event.action))
+            return event
+        return None
+
+
+class VirtualClock:
+    """Seconds that move only when the harness says so."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self.now += float(seconds)
+
+
+@dataclass
+class WorkerPoolSim:
+    """A single-threaded simulated worker pool on virtual time.
+
+    ``pump()`` is one scheduler quantum: advance the clock one tick,
+    then give every live worker a heartbeat (unless it is stalled
+    mid-chunk — a preempted worker cannot heartbeat; that is what makes
+    its lease expire) and one step.  Passed as the supervisor's
+    ``idle_hook``, it interleaves worker progress with supervisor
+    reconciliation deterministically.
+    """
+
+    queue_dir: Union[str, Path]
+    workers: int = 2
+    plan: Optional[FaultPlan] = None
+    tick_s: float = 1.0
+    clock: VirtualClock = field(default_factory=VirtualClock)
+
+    def __post_init__(self):
+        self.injector = FaultInjector(self.plan)
+        self.pool = [Worker(self.queue_dir, f"sim{pos}", clock=self.clock,
+                            faults=self.injector)
+                     for pos in range(self.workers)]
+        #: Workers removed by an injected crash.
+        self.crashed: list = []
+
+    def pump(self) -> None:
+        self.clock.advance(self.tick_s)
+        for worker in list(self.pool):
+            try:
+                if not worker.busy:
+                    worker.heartbeat()
+                worker.step()
+            except WorkerCrashed:
+                self.pool.remove(worker)
+                self.crashed.append(worker)
+
+    def executor(self, *, lease_s: float = 5.0, max_attempts: int = 3,
+                 backoff_base_s: float = 0.5, backoff_cap_s: float = 2.0,
+                 worker_grace_s: float = 3.0,
+                 inline_fallback: bool = True) -> WorkQueueExecutor:
+        """A supervisor wired to this sim (virtual clock, pump as idle)."""
+        return WorkQueueExecutor(
+            self.queue_dir, lease_s=lease_s, max_attempts=max_attempts,
+            backoff_base_s=backoff_base_s, backoff_cap_s=backoff_cap_s,
+            worker_grace_s=worker_grace_s, inline_fallback=inline_fallback,
+            clock=self.clock, idle_hook=self.pump)

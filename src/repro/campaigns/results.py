@@ -32,6 +32,11 @@ class Provenance:
     batch_size: Optional[int] = None
     chunks: int = 0
     resumed_chunks: int = 0
+    #: Transport-executor robustness accounting (attempts, retries,
+    #: re-dispatches, quarantined chunks, dead workers, ...) from
+    #: :meth:`repro.campaigns.executors.Executor.accounting`; ``None``
+    #: for in-process executors.
+    supervisor: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {k: v for k, v in self.__dict__.items()}

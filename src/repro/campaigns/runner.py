@@ -87,6 +87,60 @@ def run(spec, executor: Optional[Executor] = None, checkpoint=None):
 # ----------------------------------------------------------------------
 # The shared chunked engine
 # ----------------------------------------------------------------------
+def shot_engine(spec) -> tuple[object, int, int]:
+    """Build the chunk kernel for a shot-campaign spec.
+
+    Returns ``(kernel, shots, per_shot_elements)`` — the prepared-on-
+    demand kernel, the total request, and the per-shot activity
+    footprint that caps a whole-request chunk
+    (:func:`repro.sim.batch.default_chunk_shots`).  This is the single
+    spec-to-kernel translation: the in-process runners below use it, and
+    a :mod:`repro.campaigns.distributed` worker rebuilds the *identical*
+    kernel from the spec JSON it was shipped, so a chunk's outcome
+    cannot depend on which side constructed the kernel.
+    """
+    if isinstance(spec, MemorySpec):
+        kernel = MemoryShotKernel(
+            spec.distance, spec.p, region=spec.resolve_region(),
+            p_ano=spec.p_ano, decoder=spec.decoder, informed=spec.informed,
+            cycles=spec.cycles, decode=spec.decode)
+        return (kernel, spec.samples,
+                kernel.cycles * spec.distance * spec.distance)
+    if isinstance(spec, EndToEndSpec):
+        kernel = EndToEndShotKernel(
+            spec.distance, spec.p, spec.p_ano, spec.anomaly_size,
+            spec.onset, spec.cycles, spec.c_win, spec.n_th, spec.alpha,
+            decode=spec.decode)
+        return (kernel, spec.shots,
+                spec.cycles * (spec.distance - 1) * spec.distance)
+    if isinstance(spec, DetectionSpec):
+        normal_cycles, post_cycles = spec.resolved_cycles()
+        kernel = DetectionShotKernel(
+            spec.distance, spec.p, spec.p_ano, spec.anomaly_size,
+            spec.c_win, spec.n_th, spec.alpha, normal_cycles, post_cycles,
+            scan=spec.scan)
+        total = normal_cycles + post_cycles
+        return (kernel, spec.trials,
+                total * (spec.distance - 1) * spec.distance)
+    raise TypeError(
+        f"{type(spec).__name__} is not a chunked shot campaign")
+
+
+def effective_batch_size(spec, kernel, shots: int, per_shot_elements: int,
+                         executor: Executor) -> int:
+    """The campaign's effective chunk size under ``executor``.
+
+    A pinned ``spec.batch_size`` always wins; otherwise whole-request
+    executors get the memory-capped whole request and fan-out executors
+    the kernel's small default.
+    """
+    if spec.batch_size is not None:
+        return int(spec.batch_size)
+    if executor.whole_request:
+        return default_chunk_shots(shots, per_shot_elements)
+    return int(kernel.default_batch_size)
+
+
 @dataclass(frozen=True)
 class _ChunkedOutcome:
     outcomes: np.ndarray
@@ -97,6 +151,7 @@ class _ChunkedOutcome:
     resumed: int
     requested: int
     batch_size: int
+    supervisor: Optional[dict] = None
 
 
 def _run_chunked(kernel, spec, shots: int, batch_size: int,
@@ -140,9 +195,12 @@ def _run_chunked(kernel, spec, shots: int, batch_size: int,
                 f"but the plan expects {tasks[index][0]}")
 
     pending = [(i, task) for i, task in enumerate(tasks) if i not in done]
-    stream = (executor.run_chunks(kernel, spec.packing,
-                                  [task for _, task in pending])
-              if pending else None)
+    stream = None
+    if pending:
+        executor.bind(spec, batch_size=batch_size, shots=shots,
+                      indices=[i for i, _ in pending])
+        stream = executor.run_chunks(kernel, spec.packing,
+                                     [task for _, task in pending])
 
     collected: list[np.ndarray] = []
     successes = trials = 0
@@ -180,13 +238,15 @@ def _run_chunked(kernel, spec, shots: int, batch_size: int,
         resumed=resumed,
         requested=shots,
         batch_size=batch_size,
+        supervisor=executor.accounting() if pending else None,
     )
 
 
 def _provenance(spec, executor: Executor, started: float,
                 packing: Optional[str] = None,
                 batch_size: Optional[int] = None,
-                chunks: int = 0, resumed: int = 0) -> Provenance:
+                chunks: int = 0, resumed: int = 0,
+                supervisor: Optional[dict] = None) -> Provenance:
     import repro
     from repro.sim import backend
     return Provenance(
@@ -201,6 +261,7 @@ def _provenance(spec, executor: Executor, started: float,
         batch_size=batch_size,
         chunks=chunks,
         resumed_chunks=resumed,
+        supervisor=supervisor,
     )
 
 
@@ -218,22 +279,10 @@ def _run_memory(spec: MemorySpec, executor: Executor,
                 store) -> CampaignResult:
     from repro.sim.memory import LogicalErrorEstimate
     started = time.perf_counter()
-    kernel = MemoryShotKernel(
-        spec.distance, spec.p, region=spec.resolve_region(),
-        p_ano=spec.p_ano, decoder=spec.decoder, informed=spec.informed,
-        cycles=spec.cycles, decode=spec.decode)
-    if spec.batch_size is not None:
-        batch_size = spec.batch_size
-    elif executor.whole_request:
-        # Whole request per chunk, shrunk so the error tensors
-        # (~cycles * d^2 elements per shot) stay inside the budget —
-        # the same resolution the other shot kinds use.
-        batch_size = default_chunk_shots(
-            spec.samples,
-            kernel.cycles * spec.distance * spec.distance)
-    else:
-        batch_size = kernel.default_batch_size
-    co = _run_chunked(kernel, spec, spec.samples, batch_size, executor,
+    kernel, shots, per_shot = shot_engine(spec)
+    batch_size = effective_batch_size(spec, kernel, shots, per_shot,
+                                      executor)
+    co = _run_chunked(kernel, spec, shots, batch_size, executor,
                       store, target_rel_width=spec.target_rel_width)
     detail = LogicalErrorEstimate(co.successes, co.trials, kernel.cycles)
     return CampaignResult(
@@ -249,7 +298,8 @@ def _run_memory(spec: MemorySpec, executor: Executor,
         provenance=_provenance(spec, executor, started,
                                packing=spec.packing,
                                batch_size=co.batch_size,
-                               chunks=co.chunks, resumed=co.resumed),
+                               chunks=co.chunks, resumed=co.resumed,
+                               supervisor=co.supervisor),
         detail=detail,
     )
 
@@ -259,18 +309,10 @@ def _run_endtoend(spec: EndToEndSpec, executor: Executor,
                   store) -> CampaignResult:
     from repro.sim.endtoend import EndToEndResult
     started = time.perf_counter()
-    kernel = EndToEndShotKernel(
-        spec.distance, spec.p, spec.p_ano, spec.anomaly_size, spec.onset,
-        spec.cycles, spec.c_win, spec.n_th, spec.alpha, decode=spec.decode)
-    if spec.batch_size is not None:
-        batch_size = spec.batch_size
-    elif executor.whole_request:
-        batch_size = default_chunk_shots(
-            spec.shots,
-            spec.cycles * (spec.distance - 1) * spec.distance)
-    else:
-        batch_size = kernel.default_batch_size
-    co = _run_chunked(kernel, spec, spec.shots, batch_size, executor, store)
+    kernel, shots, per_shot = shot_engine(spec)
+    batch_size = effective_batch_size(spec, kernel, shots, per_shot,
+                                      executor)
+    co = _run_chunked(kernel, spec, shots, batch_size, executor, store)
     out = co.outcomes
     latencies = out[out[:, 3] >= 0, 3]
     detail = EndToEndResult(
@@ -297,7 +339,8 @@ def _run_endtoend(spec: EndToEndSpec, executor: Executor,
         provenance=_provenance(spec, executor, started,
                                packing=spec.packing,
                                batch_size=co.batch_size,
-                               chunks=co.chunks, resumed=co.resumed),
+                               chunks=co.chunks, resumed=co.resumed,
+                               supervisor=co.supervisor),
         detail=detail,
     )
 
@@ -307,19 +350,10 @@ def _run_detection(spec: DetectionSpec, executor: Executor,
                    store) -> CampaignResult:
     from repro.sim.detection import DetectionPerformance
     started = time.perf_counter()
-    normal_cycles, post_cycles = spec.resolved_cycles()
-    kernel = DetectionShotKernel(
-        spec.distance, spec.p, spec.p_ano, spec.anomaly_size, spec.c_win,
-        spec.n_th, spec.alpha, normal_cycles, post_cycles, scan=spec.scan)
-    if spec.batch_size is not None:
-        batch_size = spec.batch_size
-    elif executor.whole_request:
-        total = normal_cycles + post_cycles
-        batch_size = default_chunk_shots(
-            spec.trials, total * (spec.distance - 1) * spec.distance)
-    else:
-        batch_size = kernel.default_batch_size
-    co = _run_chunked(kernel, spec, spec.trials, batch_size, executor, store)
+    kernel, shots, per_shot = shot_engine(spec)
+    batch_size = effective_batch_size(spec, kernel, shots, per_shot,
+                                      executor)
+    co = _run_chunked(kernel, spec, shots, batch_size, executor, store)
     out = co.outcomes
     latencies = out[out[:, 2] >= 0, 2]
     errors = out[np.isfinite(out[:, 3]), 3]
@@ -345,7 +379,8 @@ def _run_detection(spec: DetectionSpec, executor: Executor,
         provenance=_provenance(spec, executor, started,
                                packing=spec.packing,
                                batch_size=co.batch_size,
-                               chunks=co.chunks, resumed=co.resumed),
+                               chunks=co.chunks, resumed=co.resumed,
+                               supervisor=co.supervisor),
         detail=detail,
     )
 

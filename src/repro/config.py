@@ -30,6 +30,14 @@ variable             default    meaning
 ``REPRO_JSON``       ``1``      benches merge machine-readable sections into
                                 ``BENCH_<name>.json``; ``0`` disables
 ``REPRO_JSON_DIR``   bench dir  where those JSON files land
+``REPRO_CHECKPOINT_FSYNC``  ``1``  durability of checkpoint shard appends:
+                                ``1`` (default) flushes *and* fsyncs
+                                every chunk record before the next chunk
+                                runs; ``0`` keeps the flush but skips the
+                                ``fsync`` (faster on network filesystems,
+                                at the cost of possibly recomputing the
+                                final chunks after a host crash — a torn
+                                tail never corrupts the shard either way)
 ===================  =========  =============================================
 """
 
@@ -45,6 +53,7 @@ ENV_SAMPLES = "REPRO_SAMPLES"
 ENV_SCALE = "REPRO_SCALE"
 ENV_JSON = "REPRO_JSON"
 ENV_JSON_DIR = "REPRO_JSON_DIR"
+ENV_CHECKPOINT_FSYNC = "REPRO_CHECKPOINT_FSYNC"
 
 #: Values of boolean-ish variables read as "off".
 _FALSY = ("0", "false", "no", "off", "")
@@ -97,6 +106,18 @@ def json_dir(default: str) -> str:
     return os.environ.get(ENV_JSON_DIR, default)
 
 
+def checkpoint_fsync() -> bool:
+    """Whether shard appends ``fsync`` each record (``REPRO_CHECKPOINT_FSYNC``).
+
+    On by default: a chunk record must be durable before the next chunk
+    runs for resume to be loss-free across host crashes.  Turning it off
+    keeps the per-record flush (process kills stay safe) but lets the OS
+    schedule the disk write.
+    """
+    return os.environ.get(ENV_CHECKPOINT_FSYNC, "1").strip().lower() \
+        not in _FALSY
+
+
 def snapshot() -> dict:
     """The resolved knob values, for provenance blocks and debugging."""
     return {
@@ -105,4 +126,5 @@ def snapshot() -> dict:
         "samples": samples(),
         "scale": scale(),
         "json": json_enabled(),
+        "checkpoint_fsync": checkpoint_fsync(),
     }

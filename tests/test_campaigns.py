@@ -281,37 +281,64 @@ class TestExecutors:
     def test_pool_requires_two_workers(self):
         with pytest.raises(ValueError):
             campaigns.ProcessPoolExecutor(1)
+        with pytest.raises(ValueError):
+            campaigns.ProcessPoolExecutor(4, max_inflight=3)
+
+    def test_pool_submissions_are_windowed(self):
+        # An early-stopped campaign must not have submitted the whole
+        # plan: the pool pulls lazily, at most max_inflight ahead of
+        # what the consumer has taken.
+        kernel = MemoryShotKernel(3, 2e-2)
+        plan = chunk_plan(96, 8, 3)  # 12 chunks
+        pulled = []
+
+        def tasks():
+            for task in plan:
+                pulled.append(task)
+                yield task
+
+        executor = campaigns.ProcessPoolExecutor(2)
+        assert executor.max_inflight == 4
+        stream = executor.run_chunks(kernel, "bits", tasks())
+        next(stream)
+        assert len(pulled) <= executor.max_inflight + 1
+        stream.close()  # terminates the pool; no further pulls
+        assert len(pulled) <= executor.max_inflight + 1
 
     def test_distributed_is_an_interface(self):
         spec = campaigns.MemorySpec(distance=3, p=1e-2, samples=4)
         with pytest.raises(NotImplementedError):
             campaigns.run(spec, executor=campaigns.DistributedExecutor())
 
-    def test_distributed_subclass_runs(self):
-        inline = campaigns.InlineExecutor()
-
-        class LoopbackExecutor(campaigns.DistributedExecutor):
-            """'Remote' dispatch that just runs the chunk locally."""
-
-            def run_chunks(self, kernel, packing, tasks):
-                # A real transport would ship (spec, index, seed) to a
-                # host; the loopback proves the seam's plumbing.
-                yield from inline.run_chunks(kernel, packing, tasks)
+    def test_distributed_reference_transport_runs(self, tmp_path):
+        # The loopback stand-in of PR 5 grew into a real transport: the
+        # filesystem work queue, here served by two in-process simulated
+        # workers that rebuild kernels from spec JSON exactly as
+        # ``python -m repro worker`` does.
+        from repro.campaigns.faults import WorkerPoolSim
 
         spec = campaigns.MemorySpec(distance=3, p=2e-2, samples=32,
                                     seed=5, batch_size=8)
-        remote = campaigns.run(spec, executor=LoopbackExecutor())
-        local = campaigns.run(spec, executor=inline)
+        sim = WorkerPoolSim(tmp_path / "q", workers=2)
+        remote = campaigns.run(spec, executor=sim.executor())
+        local = campaigns.run(spec, executor=campaigns.InlineExecutor())
         assert remote.counts["failures"] == local.counts["failures"]
+        assert remote.provenance.supervisor["dispatched"] > 0
 
-    def test_inline_vs_pool_bit_equal(self):
+    def test_inline_vs_pool_vs_queue_bit_equal(self, tmp_path):
+        from repro.campaigns.faults import WorkerPoolSim
+
         spec = campaigns.EndToEndSpec(distance=5, p=1e-2, shots=12,
                                       onset=30, cycles=60, c_win=20,
                                       n_th=4, seed=13, batch_size=4)
         inline = campaigns.run(spec, executor=campaigns.InlineExecutor())
         pooled = campaigns.run(
             spec, executor=campaigns.ProcessPoolExecutor(2))
+        sim = WorkerPoolSim(tmp_path / "q", workers=2)
+        queued = campaigns.run(spec, executor=sim.executor())
         assert inline.counts == pooled.counts
+        assert inline.counts == queued.counts
+        assert inline.estimates == queued.estimates
 
 
 # ----------------------------------------------------------------------

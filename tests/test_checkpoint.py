@@ -131,6 +131,47 @@ class TestResumeBitEquality:
         assert resumed.counts["failures"] == straight.counts["failures"]
 
 
+class TestDurability:
+    def test_fsync_knob_gates_the_fsync(self, tmp_path, monkeypatch):
+        from repro import config
+        from repro.campaigns import checkpoint as cp
+
+        calls = []
+        real_fsync = cp.os.fsync
+        monkeypatch.setattr(cp.os, "fsync",
+                            lambda fd: (calls.append(fd), real_fsync(fd)))
+        spec = _memory_spec()
+        monkeypatch.setenv(config.ENV_CHECKPOINT_FSYNC, "1")
+        campaigns.run(spec, checkpoint=tmp_path / "durable")
+        assert len(calls) == 6  # one fsync per appended chunk record
+
+        calls.clear()
+        monkeypatch.setenv(config.ENV_CHECKPOINT_FSYNC, "0")
+        fast = campaigns.run(spec, checkpoint=tmp_path / "fast")
+        assert calls == []  # flushed but never fsynced
+        # ... and the knob changes durability only, not the records:
+        resumed = campaigns.run(spec, checkpoint=tmp_path / "fast")
+        assert resumed.provenance.resumed_chunks == 6
+        assert resumed.counts == fast.counts
+
+    def test_torn_header_recomputes_from_scratch(self, tmp_path):
+        # Beyond the truncated-*final*-line case: a writer killed while
+        # laying down the very first (header) line leaves a shard whose
+        # only line is torn.  That must read as "no finished chunks",
+        # recompute everything, and self-heal on the next append.
+        spec = _memory_spec()
+        straight = campaigns.run(spec)
+        campaigns.run(spec, checkpoint=tmp_path)
+        path = _shard_path(tmp_path, spec)
+        header = path.read_text().splitlines()[0]
+        path.write_text(header[:25])  # torn header, no newline
+        resumed = campaigns.run(spec, checkpoint=tmp_path)
+        assert resumed.provenance.resumed_chunks == 0
+        assert resumed.counts["failures"] == straight.counts["failures"]
+        healed = campaigns.run(spec, checkpoint=tmp_path)
+        assert healed.provenance.resumed_chunks == 6
+
+
 class TestShardRejection:
     def test_truncated_final_line_recomputes(self, tmp_path):
         spec = _memory_spec()

@@ -49,10 +49,19 @@ class TestConfig:
         monkeypatch.setenv(config.ENV_JSON_DIR, "/tmp/elsewhere")
         assert config.json_dir("fallback") == "/tmp/elsewhere"
 
+    def test_checkpoint_fsync_knob(self, monkeypatch):
+        monkeypatch.delenv(config.ENV_CHECKPOINT_FSYNC, raising=False)
+        assert config.checkpoint_fsync()  # durable by default
+        for off in ("0", "off", "false", "NO", " 0 "):
+            monkeypatch.setenv(config.ENV_CHECKPOINT_FSYNC, off)
+            assert not config.checkpoint_fsync()
+        monkeypatch.setenv(config.ENV_CHECKPOINT_FSYNC, "1")
+        assert config.checkpoint_fsync()
+
     def test_snapshot_keys(self):
         snap = config.snapshot()
         assert set(snap) == {"workers", "backend", "samples", "scale",
-                             "json"}
+                             "json", "checkpoint_fsync"}
 
 
 class TestCli:
