@@ -1,0 +1,132 @@
+"""Talk to the campaign service with nothing but the stdlib.
+
+The service (`python -m repro serve STORE_DIR`, docs/SERVICE.md) fronts
+the campaign layer with a content-addressed result cache: submit a spec
+as JSON, get the cached result instantly if any server ever ran it,
+watch partial Wilson-interval estimates stream while it computes, and
+grow a cached campaign incrementally — "the same spec, more shots"
+resumes its checkpoint instead of starting over.
+
+This client is the whole protocol in ~100 lines of ``urllib``:
+
+    # terminal 1
+    PYTHONPATH=src python -m repro serve /tmp/repro-store --port 8765
+
+    # terminal 2
+    PYTHONPATH=src python - <<'EOF'
+    from repro import campaigns
+    spec = campaigns.MemorySpec(distance=7, p=0.01, samples=20000,
+                                seed=42, batch_size=512)
+    open("/tmp/spec.json", "w").write(campaigns.spec_to_json(spec))
+    EOF
+    PYTHONPATH=src python examples/service_client.py /tmp/spec.json
+    PYTHONPATH=src python examples/service_client.py /tmp/spec.json \
+        --refine-shots 40000        # computes only the second 20k
+
+Run it twice: the second submission answers from the cache
+(``cache_hit: true``), without a single shot simulated.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def request(url, body=None, tenant=None):
+    """One JSON round-trip; returns (status, document)."""
+    headers = {"Content-Type": "application/json"}
+    if tenant:
+        headers["X-Repro-Tenant"] = tenant
+    req = urllib.request.Request(url, data=body, headers=headers,
+                                 method="POST" if body else "GET")
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.load(resp)
+    except urllib.error.HTTPError as exc:
+        with exc:
+            return exc.code, json.load(exc)
+
+
+def submit_and_wait(base, spec_doc, tenant, poll_s):
+    """Submit a spec; stream partials until the result lands."""
+    status, doc = request(f"{base}/campaigns",
+                          json.dumps(spec_doc).encode(), tenant)
+    if status == 400:
+        sys.exit(f"rejected: {doc['error']}")
+    if status == 200:  # served from the cache — no compute happened
+        return doc
+    h = doc["spec_hash"]
+    print(f"accepted {h} ({'coalesced' if doc['coalesced'] else 'queued'})",
+          file=sys.stderr)
+    last = None
+    while True:
+        status, doc = request(f"{base}/campaigns/{h}")
+        if status == 200:
+            # The status endpoint serves from the store, so it reports
+            # cache_hit=true — but *this* submission was the compute
+            # (the POST said 202).  Keep the submitter's perspective.
+            doc["cache_hit"] = False
+            doc["result"]["provenance"]["cache_hit"] = False
+            return doc
+        if status == 500:
+            sys.exit(f"campaign failed: {doc['error']}")
+        status, partial = request(f"{base}/campaigns/{h}/partial")
+        if status == 200 and partial.get("shots_done") not in (None, last):
+            last = partial["shots_done"]
+            lo, hi = partial["wilson_low"], partial["wilson_high"]
+            bounds = (f"[{lo:.3g}, {hi:.3g}]"
+                      if lo is not None else "[warming up]")
+            print(f"  {last}/{partial['shots_requested']} shots, "
+                  f"estimate {partial['estimate']} {bounds}",
+                  file=sys.stderr)
+        time.sleep(poll_s)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Submit a campaign spec to a repro service.")
+    parser.add_argument("spec", help="spec JSON path, or - for stdin")
+    parser.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="service base URL (default: %(default)s)")
+    parser.add_argument("--poll", type=float, default=0.5, metavar="S",
+                        help="seconds between partial polls")
+    parser.add_argument("--tenant", default=None,
+                        help="X-Repro-Tenant fairness label")
+    parser.add_argument("--refine-shots", type=int, default=None,
+                        metavar="N", help="re-submit with the shot request "
+                        "raised to N (incremental refinement)")
+    parser.add_argument("--output", default="-", metavar="PATH",
+                        help="where to write the result JSON")
+    args = parser.parse_args(argv)
+
+    text = sys.stdin.read() if args.spec == "-" else \
+        open(args.spec, encoding="utf-8").read()
+    spec_doc = json.loads(text)
+
+    if args.refine_shots is not None:
+        # The shot-request field is the one axis refinement may vary.
+        field = {"memory": "samples", "endtoend": "shots",
+                 "detection": "trials"}.get(spec_doc.get("kind"))
+        if field is None:
+            sys.exit(f"kind {spec_doc.get('kind')!r} is not refinable")
+        spec_doc[field] = args.refine_shots
+
+    doc = submit_and_wait(args.url, spec_doc, args.tenant, args.poll)
+    provenance = doc["result"]["provenance"]
+    print(f"complete: cache_hit={doc['cache_hit']} "
+          f"resumed_chunks={provenance.get('resumed_chunks')}",
+          file=sys.stderr)
+    rendered = json.dumps(doc, indent=2, sort_keys=True)
+    if args.output == "-":
+        print(rendered)
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

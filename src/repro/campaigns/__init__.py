@@ -25,6 +25,13 @@ them:
 * **Checkpoints** (:mod:`~repro.campaigns.checkpoint`) record finished
   chunks in JSONL shards keyed by spec hash, so killed campaigns resume
   bit-identically.
+* **Result store + refinement** (:mod:`~repro.campaigns.store`,
+  :mod:`~repro.campaigns.refine`): finished results persist in a
+  content-addressed cache keyed by ``(spec hash, version)``, and
+  ``run(..., refine=True)`` seeds a spec's shard from a sibling spec's
+  (same campaign, different shot count) so "more shots" resumes
+  instead of recomputing — the serving substrate of
+  :mod:`repro.service` (``python -m repro serve``).
 
 ``python -m repro run spec.json`` drives all of this from the command
 line.  See ``docs/API.md`` for the full schema.
@@ -38,8 +45,11 @@ from repro.campaigns.distributed import (Worker, WorkerCrashed,
 from repro.campaigns.executors import (DistributedExecutor, Executor,
                                        InlineExecutor, ProcessPoolExecutor,
                                        default_executor)
+from repro.campaigns.refine import (find_refinement_base, seed_refinement,
+                                    shots_field)
 from repro.campaigns.results import CampaignResult, Provenance, SweepResult
 from repro.campaigns.runner import register_campaign, registered_kinds, run
+from repro.campaigns.store import ResultStore
 from repro.campaigns.specs import (CampaignSpec, DetectionSpec, EndToEndSpec,
                                    MemorySpec, ScalingSpec, SpecError,
                                    StreamingSpec, Sweep, ThroughputSpec,
@@ -60,6 +70,7 @@ __all__ = [
     "MemorySpec",
     "ProcessPoolExecutor",
     "Provenance",
+    "ResultStore",
     "ScalingSpec",
     "ShardFile",
     "SpecError",
@@ -74,9 +85,12 @@ __all__ = [
     "default_executor",
     "serve",
     "derive_seed",
+    "find_refinement_base",
     "register_campaign",
     "registered_kinds",
     "run",
+    "seed_refinement",
+    "shots_field",
     "spec_from_dict",
     "spec_from_json",
     "spec_hash",

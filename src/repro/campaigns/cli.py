@@ -12,6 +12,11 @@ Subcommands:
   tasks, rebuild kernels from their spec JSON, deliver CRC-stamped
   result records (see :mod:`repro.campaigns.distributed` and
   docs/API.md).
+* ``serve STORE_DIR``    — run the long-lived campaign server: accept
+  spec JSON over HTTP, dedupe against the content-addressed result
+  cache, coalesce duplicate submissions, stream partial estimates from
+  live checkpoints, and refine cached campaigns incrementally (see
+  :mod:`repro.service` and docs/SERVICE.md).
 
 ``SPEC.json`` may be ``-`` for stdin.  Executor syntax: ``inline``
 (whole-request in-process, the default), ``inline-chunked`` (kernel
@@ -68,6 +73,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: REPRO_WORKERS)")
     run_p.add_argument("--checkpoint", default=None, metavar="DIR",
                        help="shard directory for chunk checkpoint/resume")
+    run_p.add_argument("--refine", action="store_true",
+                       help="with --checkpoint: seed this spec's shard from "
+                            "a sibling spec's shard (same campaign, "
+                            "different shot count) before running")
     run_p.add_argument("--output", default="-", metavar="PATH",
                        help="where to write the result JSON (default: stdout)")
 
@@ -90,7 +99,48 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="S", help="exit after S idle seconds")
     worker_p.add_argument("--fault-plan", default=None, metavar="PATH",
                           help="JSON FaultPlan to inject (chaos testing)")
+
+    serve_p = sub.add_parser(
+        "serve", help="run the campaign result-cache server")
+    serve_p.add_argument("store", metavar="STORE_DIR",
+                         help="service store directory "
+                              "(results/ + checkpoints/)")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=None, metavar="N",
+                         help="TCP port (default: REPRO_SERVICE_PORT)")
+    serve_p.add_argument("--executor", default=None, metavar="SPEC",
+                         help="executor per campaign: inline | "
+                              "inline-chunked | pool:N | queue:DIR "
+                              "(default: REPRO_SERVICE_EXECUTOR)")
+    serve_p.add_argument("--threads", type=int, default=None, metavar="N",
+                         help="concurrent campaign runners "
+                              "(default: REPRO_SERVICE_THREADS)")
     return parser
+
+
+def _run_serve(args) -> int:
+    from repro import config
+    from repro.service.http import serve
+    value = (args.executor if args.executor is not None
+             else config.service_executor())
+    try:
+        parse_executor(value)  # validate before binding the socket
+    except (argparse.ArgumentTypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    port = args.port if args.port is not None else config.service_port()
+    threads = (args.threads if args.threads is not None
+               else config.service_threads())
+    try:
+        serve(args.store, host=args.host, port=port,
+              executor_factory=lambda: parse_executor(value),
+              threads=threads)
+    except OSError as exc:
+        print(f"error: cannot serve on {args.host}:{port}: {exc}",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _run_worker(args) -> int:
@@ -114,6 +164,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "worker":
         return _run_worker(args)
+    if args.command == "serve":
+        return _run_serve(args)
     try:
         spec = _read_spec(args.spec)
     except OSError as exc:
@@ -133,7 +185,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     from repro.campaigns.runner import run
     try:
         result = run(spec, executor=args.executor,
-                     checkpoint=args.checkpoint)
+                     checkpoint=args.checkpoint, refine=args.refine)
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

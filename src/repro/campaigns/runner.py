@@ -54,7 +54,8 @@ def registered_kinds() -> dict[str, type]:
     return {spec_type.kind: spec_type for spec_type in _RUNNERS}
 
 
-def run(spec, executor: Optional[Executor] = None, checkpoint=None):
+def run(spec, executor: Optional[Executor] = None, checkpoint=None,
+        refine: bool = False):
     """Run a campaign spec (or a :class:`Sweep` of them).
 
     Args:
@@ -66,6 +67,13 @@ def run(spec, executor: Optional[Executor] = None, checkpoint=None):
             :class:`~repro.campaigns.checkpoint.CheckpointStore`; when
             given, shot-campaign chunks are durably recorded and
             resumed on the next ``run`` of the same spec.
+        refine: with a checkpoint store, seed the spec's shard from a
+            *sibling* spec's shard (identical in every field but the
+            shot request) before running, so asking for more shots
+            resumes the existing campaign instead of recomputing it —
+            bit-identical to an uninterrupted run of the larger request
+            per ``(seed, batch_size)``
+            (:func:`repro.campaigns.refine.seed_refinement`).
 
     Returns:
         :class:`CampaignResult`, or :class:`SweepResult` for a sweep.
@@ -74,13 +82,16 @@ def run(spec, executor: Optional[Executor] = None, checkpoint=None):
     if executor is None:
         executor = default_executor()
     if isinstance(spec, Sweep):
-        return SweepResult([(overrides, run(point, executor, store))
+        return SweepResult([(overrides, run(point, executor, store, refine))
                             for overrides, point in spec.points()])
     fn = _RUNNERS.get(type(spec))
     if fn is None:
         raise TypeError(
             f"no campaign runner registered for {type(spec).__name__}; "
             f"known kinds: {sorted(registered_kinds())}")
+    if refine and store is not None:
+        from repro.campaigns.refine import seed_refinement
+        seed_refinement(store, spec)
     return fn(spec, executor, store)
 
 

@@ -1,0 +1,135 @@
+"""Content-addressed campaign result store.
+
+The serving layer's cache: finished :class:`CampaignResult`\\ s persist
+as one JSON document per ``(spec hash, package version)`` key, so a
+repeat request for an identical spec is a file read, not a campaign.
+The version rides in the key because a new ``repro`` release may change
+results (kernels, estimators, spec defaults) — a cached result is only
+authoritative for the code that produced it.
+
+The wire discipline mirrors the checkpoint shards
+(:mod:`repro.campaigns.checkpoint`): records carry a CRC-32 over their
+payload, writes go to a temporary file in the same directory and land
+via ``os.replace`` (atomic on POSIX — a reader never sees a torn
+record), and a record that fails *any* validation on read — bad JSON,
+wrong type/format/hash/version, CRC mismatch — is treated as a cache
+miss, never an error: the result is recomputable by construction, so
+corruption costs a recompute, not an outage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.campaigns.results import CampaignResult
+from repro.campaigns.specs import spec_hash, spec_to_dict
+
+#: Result record format version (bump on incompatible changes).
+FORMAT = 1
+
+
+def _result_crc(spec_hash_: str, version: str, result: dict) -> int:
+    doc = json.dumps([spec_hash_, version, result], sort_keys=True,
+                     separators=(",", ":"))
+    return zlib.crc32(doc.encode("utf-8"))
+
+
+def result_record(spec: object, result: CampaignResult,
+                  version: str) -> dict:
+    """A finished campaign as its CRC-stamped store record."""
+    h = spec_hash(spec)
+    payload = result.to_dict()
+    return {
+        "type": "result",
+        "format": FORMAT,
+        "spec_hash": h,
+        "version": version,
+        "spec": spec_to_dict(spec),
+        "result": payload,
+        "crc": _result_crc(h, version, payload),
+    }
+
+
+class ResultStore:
+    """A directory of result records keyed by ``(spec_hash, version)``.
+
+    ``version`` defaults to the running ``repro.__version__``; a store
+    directory may hold records from several versions side by side
+    (``<spec_hash>-<version>.json``), and each :class:`ResultStore`
+    instance sees only its own version's slice — the cache-keying rule
+    that makes an upgraded server recompute rather than serve stale
+    results.
+    """
+
+    def __init__(self, directory: Union[str, Path],
+                 version: Optional[str] = None):
+        if version is None:
+            import repro
+            version = repro.__version__
+        self.directory = Path(directory)
+        self.version = version
+
+    def path(self, spec_hash_: str) -> Path:
+        """Where this store keeps the record for ``spec_hash_``."""
+        return self.directory / f"{spec_hash_}-{self.version}.json"
+
+    # ------------------------------------------------------------------
+    def put(self, spec: object, result: CampaignResult) -> dict:
+        """Durably store a finished campaign; returns the stored record.
+
+        tmp + ``os.replace``: concurrent writers of the same key (two
+        servers sharing a store) each land a complete record and the
+        last replace wins — both are valid, being pure functions of the
+        same spec.
+        """
+        record = result_record(spec, result, self.version)
+        path = self.path(record["spec_hash"])
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(
+            f".{path.name}.tmp-{os.getpid()}-{threading.get_ident()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return record
+
+    def get(self, spec: object) -> Optional[dict]:
+        """The stored record for ``spec`` under this version, or ``None``."""
+        return self.get_hash(spec_hash(spec))
+
+    def get_hash(self, spec_hash_: str) -> Optional[dict]:
+        """Look a record up by spec hash alone (the HTTP status path).
+
+        Any malformation — unreadable file, bad JSON, wrong
+        type/format/key fields, CRC mismatch — is a miss (``None``):
+        a corrupted cache entry must cost a recompute, never a crash.
+        The next :meth:`put` atomically replaces the damaged file.
+        """
+        try:
+            text = self.path(spec_hash_).read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            record = json.loads(text)
+        except ValueError:
+            return None
+        if not isinstance(record, dict) or record.get("type") != "result":
+            return None
+        if record.get("format") != FORMAT:
+            return None
+        if (record.get("spec_hash") != spec_hash_
+                or record.get("version") != self.version):
+            return None
+        result = record.get("result")
+        if not isinstance(result, dict):
+            return None
+        if record.get("crc") != _result_crc(spec_hash_, self.version,
+                                            result):
+            return None
+        return record

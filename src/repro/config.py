@@ -38,6 +38,20 @@ variable             default    meaning
                                 at the cost of possibly recomputing the
                                 final chunks after a host crash — a torn
                                 tail never corrupts the shard either way)
+``REPRO_SERVICE_PORT``  ``8765``  default TCP port of ``python -m repro
+                                serve`` (``--port`` overrides)
+``REPRO_SERVICE_THREADS``  ``2``  campaign-scheduler worker threads in the
+                                service: how many campaigns compute
+                                concurrently (``--threads`` overrides)
+``REPRO_SERVICE_EXECUTOR``  ``inline-chunked``  executor each service
+                                campaign dispatches to, in the CLI's
+                                ``--executor`` syntax (``inline``,
+                                ``inline-chunked``, ``pool:N``,
+                                ``queue:DIR``); the chunked default keeps
+                                sibling specs' chunk plans aligned for
+                                incremental refinement and gives the
+                                partial-estimate endpoint chunk-granular
+                                progress
 ===================  =========  =============================================
 """
 
@@ -54,6 +68,9 @@ ENV_SCALE = "REPRO_SCALE"
 ENV_JSON = "REPRO_JSON"
 ENV_JSON_DIR = "REPRO_JSON_DIR"
 ENV_CHECKPOINT_FSYNC = "REPRO_CHECKPOINT_FSYNC"
+ENV_SERVICE_PORT = "REPRO_SERVICE_PORT"
+ENV_SERVICE_THREADS = "REPRO_SERVICE_THREADS"
+ENV_SERVICE_EXECUTOR = "REPRO_SERVICE_EXECUTOR"
 
 #: Values of boolean-ish variables read as "off".
 _FALSY = ("0", "false", "no", "off", "")
@@ -118,6 +135,33 @@ def checkpoint_fsync() -> bool:
         not in _FALSY
 
 
+def service_port(default: int = 8765) -> int:
+    """TCP port for ``python -m repro serve`` (``REPRO_SERVICE_PORT``)."""
+    return int(os.environ.get(ENV_SERVICE_PORT, default))
+
+
+def service_threads(default: int = 2) -> int:
+    """Service scheduler worker threads (``REPRO_SERVICE_THREADS``).
+
+    Floored at 1: the scheduler always has at least one campaign
+    runner, whatever the environment says.
+    """
+    return max(1, int(os.environ.get(ENV_SERVICE_THREADS, default)))
+
+
+def service_executor(default: str = "inline-chunked") -> str:
+    """Executor the service dispatches campaigns to
+    (``REPRO_SERVICE_EXECUTOR``, CLI ``--executor`` syntax).
+
+    The chunked in-process default keeps chunk plans identical across
+    sibling shot requests (the refinement prefix contract) and gives
+    the partial-estimate endpoint chunk-granular progress; ``pool:N``
+    or ``queue:DIR`` scale a single server over cores or hosts.
+    """
+    return (os.environ.get(ENV_SERVICE_EXECUTOR, default) or default).strip() \
+        or default
+
+
 def snapshot() -> dict:
     """The resolved knob values, for provenance blocks and debugging."""
     return {
@@ -127,4 +171,7 @@ def snapshot() -> dict:
         "scale": scale(),
         "json": json_enabled(),
         "checkpoint_fsync": checkpoint_fsync(),
+        "service_port": service_port(),
+        "service_threads": service_threads(),
+        "service_executor": service_executor(),
     }

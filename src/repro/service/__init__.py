@@ -1,0 +1,36 @@
+"""``repro.service``: the long-running campaign server.
+
+The serving layer over everything PRs 1–8 built: specs are
+content-hashed (:func:`repro.campaigns.spec_hash`), checkpoint shards
+resume bit-identically, and results carry full provenance — so a server
+can convert repeat traffic into near-zero marginal compute.
+
+* :mod:`~repro.service.store` — the on-disk layout under one
+  ``STORE_DIR`` (result cache + checkpoint shards) and the tolerant
+  live-shard reader behind the partial-estimate endpoint.
+* :mod:`~repro.service.scheduler` — duplicate-submission coalescing
+  (one compute, N responses) and per-tenant round-robin fairness over a
+  small thread pool.
+* :mod:`~repro.service.http` — the stdlib ``ThreadingHTTPServer``
+  front end: ``POST /campaigns``, ``GET /campaigns/<spec_hash>``,
+  ``GET /campaigns/<spec_hash>/partial``, ``GET /healthz``.
+
+``python -m repro serve STORE_DIR`` drives it from the command line;
+docs/SERVICE.md documents the HTTP API, cache-keying rule and
+refinement semantics; ``examples/service_client.py`` is a stdlib
+client.
+"""
+
+from repro.service.http import ServiceApp, make_server, serve
+from repro.service.scheduler import Job, Scheduler
+from repro.service.store import ServiceStore, read_partial
+
+__all__ = [
+    "Job",
+    "Scheduler",
+    "ServiceApp",
+    "ServiceStore",
+    "make_server",
+    "read_partial",
+    "serve",
+]

@@ -1,0 +1,185 @@
+"""Coalescing, fair campaign scheduling for the service.
+
+Two serving properties live here:
+
+* **Duplicate coalescing** — concurrent identical submissions (same
+  spec hash) attach to one in-flight :class:`Job`: one compute, N
+  responses.  The job registry is keyed by spec hash; the store is
+  re-checked inside the worker right before computing, so a submission
+  that raced a completion still becomes a cache read, not a recompute.
+* **Per-tenant round-robin fairness** — each tenant (the
+  ``X-Repro-Tenant`` request header; ``"public"`` when absent) has its
+  own FIFO queue, and worker threads take the *next tenant's* head job,
+  rotating tenants each dispatch.  A tenant that floods the server with
+  a grid sweep delays its own queue, not everyone else's.
+
+Workers run campaigns through the ordinary
+:func:`repro.campaigns.run` with the service's checkpoint store and
+``refine=True``, so cache misses still reuse every compatible sibling
+chunk (incremental refinement), and a crash mid-campaign leaves a shard
+the next submission resumes.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Callable, Optional
+
+from repro import campaigns
+from repro.campaigns.executors import Executor
+from repro.service.store import ServiceStore
+
+
+class Job:
+    """One submitted campaign: many submitters, one compute."""
+
+    def __init__(self, spec: object, spec_hash: str, tenant: str):
+        self.spec = spec
+        self.spec_hash = spec_hash
+        self.tenant = tenant
+        #: ``queued`` -> ``running`` -> ``complete`` | ``failed``.
+        self.state = "queued"
+        #: The stored result record once complete.
+        self.record: Optional[dict] = None
+        self.error: Optional[str] = None
+        #: How many submissions coalesced onto this job.
+        self.submissions = 1
+        self.done = threading.Event()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job completes or fails."""
+        return self.done.wait(timeout)
+
+    def snapshot(self) -> dict:
+        """The job's status document (what the HTTP layer serves)."""
+        return {"status": self.state, "spec_hash": self.spec_hash,
+                "tenant": self.tenant, "submissions": self.submissions}
+
+
+class Scheduler:
+    """Thread-pool campaign runner with coalescing and tenant fairness."""
+
+    def __init__(self, store: ServiceStore,
+                 executor_factory: Callable[[], Executor],
+                 threads: int = 2, refine: bool = True):
+        self._store = store
+        self._factory = executor_factory
+        self._refine = refine
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queues: dict[str, collections.deque] = {}
+        self._tenants: collections.deque = collections.deque()
+        #: Queued + running jobs by spec hash (the coalescing map).
+        self._active: dict[str, Job] = {}
+        #: Last failed job per spec hash (cleared on resubmission).
+        self._failed: dict[str, Job] = {}
+        self._stop = False
+        #: Campaigns actually computed (cache hits do not count).
+        self.jobs_run = 0
+        self._threads = [
+            threading.Thread(target=self._work, name=f"repro-campaign-{i}",
+                             daemon=True)
+            for i in range(max(1, threads))]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: object, tenant: str = "public") -> tuple[Job, bool]:
+        """Enqueue a campaign (or coalesce onto the in-flight one).
+
+        Returns ``(job, coalesced)``: ``coalesced`` is True when an
+        identical submission was already queued or running, in which
+        case no new compute was scheduled.  Resubmitting a previously
+        *failed* spec clears the failure and retries.
+        """
+        h = campaigns.spec_hash(spec)
+        with self._cond:
+            job = self._active.get(h)
+            if job is not None:
+                job.submissions += 1
+                return job, True
+            self._failed.pop(h, None)
+            job = Job(spec, h, tenant)
+            self._active[h] = job
+            queue = self._queues.get(tenant)
+            if queue is None:
+                queue = self._queues[tenant] = collections.deque()
+                self._tenants.append(tenant)
+            queue.append(job)
+            self._cond.notify()
+        return job, False
+
+    def job(self, spec_hash: str) -> Optional[Job]:
+        """The active or last-failed job for a spec hash, if any."""
+        with self._lock:
+            return self._active.get(spec_hash) or self._failed.get(spec_hash)
+
+    def stats(self) -> dict:
+        """Counters for the health endpoint."""
+        with self._lock:
+            return {"jobs_run": self.jobs_run,
+                    "active": len(self._active),
+                    "failed": len(self._failed),
+                    "tenants": len(self._queues),
+                    "threads": len(self._threads)}
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop the worker threads (running campaigns finish first)."""
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    def _next_job(self) -> Optional[Job]:
+        """Round-robin dequeue (caller holds the lock).
+
+        The head tenant rotates to the back as its job is taken, so
+        sustained dispatches alternate across every tenant with queued
+        work — a backlogged tenant waits on itself, not on the ring.
+        """
+        for _ in range(len(self._tenants)):
+            tenant = self._tenants[0]
+            self._tenants.rotate(-1)
+            queue = self._queues.get(tenant)
+            if queue:
+                return queue.popleft()
+        return None
+
+    def _work(self) -> None:
+        while True:
+            with self._cond:
+                job = self._next_job()
+                while job is None and not self._stop:
+                    self._cond.wait()
+                    job = self._next_job()
+                if job is None:
+                    return
+                job.state = "running"
+            self._execute(job)
+
+    def _execute(self, job: Job) -> None:
+        try:
+            record = self._store.results.get(job.spec)
+            if record is None:
+                result = campaigns.run(job.spec,
+                                       executor=self._factory(),
+                                       checkpoint=self._store.checkpoints,
+                                       refine=self._refine)
+                record = self._store.results.put(job.spec, result)
+                with self._lock:
+                    self.jobs_run += 1
+            job.record = record
+            job.state = "complete"
+        except Exception as exc:  # noqa: B902 - a failed campaign must
+            # surface as a failed job (HTTP 500), never kill the worker.
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = "failed"
+        finally:
+            with self._lock:
+                self._active.pop(job.spec_hash, None)
+                if job.state == "failed":
+                    self._failed[job.spec_hash] = job
+            job.done.set()

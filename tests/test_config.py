@@ -58,10 +58,25 @@ class TestConfig:
         monkeypatch.setenv(config.ENV_CHECKPOINT_FSYNC, "1")
         assert config.checkpoint_fsync()
 
+    def test_service_knobs(self, monkeypatch):
+        for var in (config.ENV_SERVICE_PORT, config.ENV_SERVICE_THREADS,
+                    config.ENV_SERVICE_EXECUTOR):
+            monkeypatch.delenv(var, raising=False)
+        assert config.service_port() == 8765
+        assert config.service_threads() == 2
+        assert config.service_executor() == "inline-chunked"
+        monkeypatch.setenv(config.ENV_SERVICE_PORT, "9000")
+        monkeypatch.setenv(config.ENV_SERVICE_THREADS, "0")
+        monkeypatch.setenv(config.ENV_SERVICE_EXECUTOR, " pool:2 ")
+        assert config.service_port() == 9000
+        assert config.service_threads() == 1  # floored at one runner
+        assert config.service_executor() == "pool:2"
+
     def test_snapshot_keys(self):
         snap = config.snapshot()
         assert set(snap) == {"workers", "backend", "samples", "scale",
-                             "json", "checkpoint_fsync"}
+                             "json", "checkpoint_fsync", "service_port",
+                             "service_threads", "service_executor"}
 
 
 class TestCli:

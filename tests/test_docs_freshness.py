@@ -1,0 +1,33 @@
+"""tools/check_docs.py: the documented CLI surface must be the real one."""
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_repo_docs_are_fresh(capsys):
+    assert check_docs.main(ROOT) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_parser_extraction_sees_every_subcommand():
+    assert check_docs.registered_subcommands(ROOT) == {
+        "run", "validate", "hash", "worker", "serve"}
+
+
+def test_drift_is_detected(tmp_path, capsys):
+    (tmp_path / "src/repro/campaigns").mkdir(parents=True)
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "src/repro/campaigns/cli.py").write_text(
+        'def build():\n    sub.add_parser("run")\n    sub.add_parser("hash")\n')
+    # README shows a ghost subcommand and omits a real one.
+    (tmp_path / "README.md").write_text(
+        "Use `python -m repro run` or `python -m repro explode`.\n")
+    assert check_docs.main(tmp_path) == 1
+    out = capsys.readouterr().out
+    assert "explode" in out  # documented but unregistered
+    assert "`hash`" in out  # registered but undocumented

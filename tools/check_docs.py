@@ -1,0 +1,80 @@
+"""Docs-freshness check: the documented CLI must be the real CLI.
+
+Stdlib-only (it AST-parses the CLI module instead of importing it, so
+it runs without numpy in a bare CI job).  Two directions:
+
+* every ``python -m repro <subcommand>`` mentioned in README.md or
+  docs/*.md must name a subcommand the parser actually registers;
+* every registered subcommand must be mentioned in README.md — the
+  front door may not silently fall behind the CLI.
+
+Run: ``python tools/check_docs.py`` (exit 1 on drift).
+"""
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+CLI = Path("src/repro/campaigns/cli.py")
+DOCS = ("README.md", "docs")
+
+#: ``python -m repro run|validate spec.json`` → ["run", "validate"].
+MENTION = re.compile(r"python -m repro\s+([a-z0-9|-]+)")
+
+
+def registered_subcommands(root: Path) -> set:
+    """Names passed to ``add_parser(...)`` in the CLI module."""
+    tree = ast.parse((root / CLI).read_text(encoding="utf-8"))
+    names = set()
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_parser"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            names.add(node.args[0].value)
+    return names
+
+
+def documented_subcommands(root: Path):
+    """Every CLI mention in the docs, as (file, subcommand) pairs."""
+    paths = [root / "README.md"]
+    paths.extend(sorted((root / "docs").glob("*.md")))
+    for path in paths:
+        if not path.is_file():
+            continue
+        for match in MENTION.finditer(path.read_text(encoding="utf-8")):
+            for name in match.group(1).split("|"):
+                yield path.relative_to(root), name
+
+
+def main(root: Path = Path(__file__).resolve().parent.parent) -> int:
+    real = registered_subcommands(root)
+    if not real:
+        print(f"check_docs: no subcommands found in {CLI} — parser moved?")
+        return 1
+    problems = []
+    seen_in_readme = set()
+    for path, name in documented_subcommands(root):
+        if name not in real:
+            problems.append(
+                f"{path}: documents `python -m repro {name}`, which the "
+                f"CLI does not register (has: {', '.join(sorted(real))})")
+        elif path.name == "README.md":
+            seen_in_readme.add(name)
+    for name in sorted(real - seen_in_readme):
+        problems.append(
+            f"README.md: subcommand `{name}` is registered in {CLI} "
+            "but never shown as `python -m repro " + name + "`")
+    for problem in problems:
+        print(f"check_docs: {problem}")
+    if not problems:
+        print(f"check_docs: clean ({len(real)} subcommands, "
+              "README + docs/ in sync)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
