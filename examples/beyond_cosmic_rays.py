@@ -1,104 +1,114 @@
-"""Beyond cosmic rays: Q3DE on trapped-ion burst errors (paper Sec. IX).
+"""Beyond cosmic rays: the scenario catalog on burst errors (Sec. IX).
 
 Ions and neutral atoms do not sit on a substrate, so cosmic rays barely
 touch them -- but atom loss, leakage out of the qubit space, and
 calibration drift produce the same signature: a region whose error rate
-jumps until a slow repair completes.  Q3DE's detection works unchanged;
-the *reaction* differs (the paper: move the logical qubit so the trap can
-be reloaded/re-calibrated, instead of expanding in place).
+jumps until a slow repair completes.  The :mod:`repro.scenarios`
+catalog captures those regimes (and the decoder trade-offs under them)
+as declarative, JSON-round-trippable campaign specs, so this example is
+a thin driver: list the catalog, pick an entry, run it through the one
+campaign entry point.
 
-This example samples a multi-source burst timeline for an ion-trap
-lattice, routes each event through the recommended reaction policy on a
-qubit plane, and shows the detector catching a leakage-style burst.
+It also shows the bridge from a *sampled* ion-trap burst timeline
+(:mod:`repro.noise.leakage`) to a :class:`repro.scenarios.Scenario` —
+the measured hardware history becomes a replayable campaign — and each
+burst source's recommended reaction policy.
 
-Run:  python examples/beyond_cosmic_rays.py
+Run:  python examples/beyond_cosmic_rays.py            # the tour
+      python examples/beyond_cosmic_rays.py --list     # catalog table
+      python examples/beyond_cosmic_rays.py --scenario leakage-burst \
+          --shots 20
 """
+
+import argparse
 
 import numpy as np
 
-from repro.arch.qubit_plane import QubitPlane
-from repro.core.policy import ReactionPolicy, ReactionPolicyEngine
-from repro.noise import PhenomenologicalNoise
-from repro.noise.leakage import BurstSource, ion_trap_processes
-from repro.core.anomaly import AnomalyDetectionUnit
-from repro.decoding.graph import SyndromeLattice
-from repro.sim.detection import calibrated_statistics
+from repro import campaigns
+from repro.noise.leakage import ion_trap_processes
+from repro.scenarios import Scenario, catalog_spec, scenario_catalog
 
 DISTANCE = 13
-P = 1e-4  # ion gates are cleaner but slower
-HOURS = 2.0
 CYCLE_S = 1e-4  # ~100 us cycles for ions
+TIMELINE_HOURS = 2.0
 
 
-def sample_timeline():
+def list_catalog() -> None:
+    """Print the catalog table the docs (and CI) keep honest."""
+    print(f"{'entry':<26} description")
+    print("-" * 72)
+    for name, blurb in scenario_catalog().items():
+        print(f"{name:<26} {blurb}")
+
+
+def run_entry(name: str, shots: int) -> None:
+    """Materialize one catalog entry and run it."""
+    spec = catalog_spec(name, shots=shots)
+    print(f"running {name!r} at {shots} shots "
+          f"(spec kind: {getattr(spec, 'kind', 'sweep')})")
+    result = campaigns.run(spec)
+    if isinstance(result, campaigns.SweepResult):
+        for overrides, point in result:
+            print(f"  {overrides}:")
+            for key, value in point.estimates.items():
+                print(f"    {key:<24} {value:.4g}")
+        return
+    for key, value in result.estimates.items():
+        print(f"  {key:<24} {value:.4g}")
+
+
+def timeline_to_scenario() -> None:
+    """A sampled ion-trap burst history replayed as a scenario spec."""
     rows, cols = DISTANCE - 1, DISTANCE
-    total_cycles = int(HOURS * 3600 / CYCLE_S)
-    print(f"Ion-trap lattice {rows}x{cols}, {HOURS} h "
-          f"({total_cycles:.1e} cycles of {CYCLE_S * 1e6:.0f} us)\n")
+    total_cycles = int(TIMELINE_HOURS * 3600 / CYCLE_S)
     events = []
     for proc in ion_trap_processes(rows, cols, np.random.default_rng(11)):
         events.extend(proc.sample(total_cycles))
     events.sort(key=lambda e: e.cycle)
-    return events
-
-
-def react_to_events(events):
-    plane = QubitPlane(11, 11)
-    print(f"{'cycle':>12}  {'source':<18}  {'size':>4}  "
-          f"{'policy':<9}  outcome")
-    rng = np.random.default_rng(3)
-    for event in events[:12]:
-        policy = event.recommended_policy
-        engine = ReactionPolicyEngine(plane, policy)
-        qubit = int(rng.integers(0, plane.num_logical))
-        slot = event.cycle // DISTANCE
-        plane.strike(*plane.logical_positions[qubit],
-                     until_slot=slot + event.duration_cycles // DISTANCE)
-        out = engine.react(qubit, slot, event.duration_cycles // DISTANCE)
-        what = ("moved to %s" % (out.new_position,)
-                if policy is ReactionPolicy.RELOCATE and out.succeeded
-                else "expanded" if out.succeeded else "blocked")
+    print(f"\nIon-trap lattice {rows}x{cols}, {TIMELINE_HOURS} h "
+          f"({total_cycles:.1e} cycles): {len(events)} burst events")
+    print(f"{'cycle':>12}  {'source':<18}  {'size':>4}  policy")
+    for event in events[:8]:
         print(f"{event.cycle:>12}  {event.source.value:<18}  "
-              f"{event.size:>4}  {policy.value:<9}  {what}")
-    if len(events) > 12:
-        print(f"  ... and {len(events) - 12} more events")
+              f"{event.size:>4}  {event.recommended_policy.value}")
+    if len(events) > 8:
+        print(f"  ... and {len(events) - 8} more")
+
+    scenario = Scenario.from_burst_events(events[:3])
+    print("\nFirst three events as a replayable scenario "
+          f"({len(scenario.to_json())} bytes of JSON); every event keeps "
+          "its source tag and recommended policy:")
+    for strike in scenario.events:
+        print(f"  onset={strike.onset} size={strike.size} "
+              f"source={strike.source} -> "
+              f"{strike.recommended_policy.value}")
 
 
-def detect_a_leakage_burst():
-    print("\nDetecting a leakage burst from syndrome statistics alone:")
-    region_size = 1  # single-site burst (atom loss / leakage)
-    from repro.noise import AnomalousRegion
-    onset = 400
-    region = AnomalousRegion(5, 6, region_size, t_lo=onset)
-    noise = PhenomenologicalNoise(DISTANCE, P, p_ano=0.5, region=region)
-    v, h, m = noise.sample(1500, np.random.default_rng(4))
-    stream = SyndromeLattice(DISTANCE).per_cycle_activity(v, h, m)
-    # A single leaked site elevates very few counters: small n_th.
-    unit = AnomalyDetectionUnit(
-        (DISTANCE - 1, DISTANCE), calibrated_statistics(P),
-        c_win=300, n_th=2, alpha=1e-5)
-    for t in range(len(stream)):
-        evt = unit.observe(stream[t])
-        if evt is not None and evt.cycle >= onset:
-            print(f"  detected at cycle {evt.cycle} "
-                  f"(onset {onset}, latency {evt.cycle - onset}), "
-                  f"estimated site ({evt.row}, {evt.col}) vs true (5, 6)")
-            break
-    else:
-        print("  not detected (single-site bursts are the hardest case)")
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Drive the repro.scenarios catalog from the "
+                    "command line.")
+    parser.add_argument("--list", action="store_true",
+                        help="print the scenario catalog and exit")
+    parser.add_argument("--scenario", metavar="NAME",
+                        help="run one catalog entry")
+    parser.add_argument("--shots", type=int, default=16,
+                        help="shot request for --scenario (default 16)")
+    args = parser.parse_args()
 
+    if args.list:
+        list_catalog()
+        return
+    if args.scenario:
+        run_entry(args.scenario, args.shots)
+        return
 
-def main():
-    events = sample_timeline()
-    counts = {}
-    for e in events:
-        counts[e.source] = counts.get(e.source, 0) + 1
-    for source in BurstSource:
-        if source in counts:
-            print(f"  {source.value:<20} {counts[source]} events")
+    # The tour: the catalog, one burst-regime campaign, the bridge from
+    # sampled hardware history to a replayable scenario.
+    list_catalog()
     print()
-    react_to_events(events)
-    detect_a_leakage_burst()
+    run_entry("leakage-burst", shots=8)
+    timeline_to_scenario()
 
 
 if __name__ == "__main__":

@@ -51,11 +51,11 @@ from repro.campaigns.results import CampaignResult, Provenance, SweepResult
 from repro.campaigns.runner import register_campaign, registered_kinds, run
 from repro.campaigns.store import ResultStore
 from repro.campaigns.specs import (CampaignSpec, DetectionSpec, EndToEndSpec,
-                                   MemorySpec, ScalingSpec, SpecError,
-                                   StreamingSpec, Sweep, ThroughputSpec,
-                                   derive_seed, spec_from_dict,
-                                   spec_from_json, spec_hash, spec_to_dict,
-                                   spec_to_json)
+                                   MemorySpec, ScalingSpec, ScenarioSpec,
+                                   SpecError, StreamingSpec, Sweep,
+                                   ThroughputSpec, derive_seed,
+                                   spec_from_dict, spec_from_json, spec_hash,
+                                   spec_to_dict, spec_to_json)
 
 __all__ = [
     "CampaignResult",
@@ -72,6 +72,7 @@ __all__ = [
     "Provenance",
     "ResultStore",
     "ScalingSpec",
+    "ScenarioSpec",
     "ShardFile",
     "SpecError",
     "StreamingSpec",

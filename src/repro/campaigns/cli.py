@@ -17,6 +17,10 @@ Subcommands:
   cache, coalesce duplicate submissions, stream partial estimates from
   live checkpoints, and refine cached campaigns incrementally (see
   :mod:`repro.service` and docs/SERVICE.md).
+* ``gc STORE_DIR``       — prune stale-version result records,
+  corrupt/completed checkpoint shards, and abandoned temp files from a
+  store directory.  Dry-run by default; ``--apply`` deletes (see
+  :mod:`repro.campaigns.gc`).
 
 ``SPEC.json`` may be ``-`` for stdin.  Executor syntax: ``inline``
 (whole-request in-process, the default), ``inline-chunked`` (kernel
@@ -28,6 +32,7 @@ fan-out chunk size), ``pool:N`` (process pool of N workers), or
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -116,6 +121,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--threads", type=int, default=None, metavar="N",
                          help="concurrent campaign runners "
                               "(default: REPRO_SERVICE_THREADS)")
+
+    gc_p = sub.add_parser(
+        "gc", help="prune stale records and orphaned shards from a store")
+    gc_p.add_argument("store", metavar="STORE_DIR",
+                      help="store directory (results/ + checkpoints/)")
+    gc_p.add_argument("--apply", action="store_true",
+                      help="actually delete (default: dry-run report)")
+    gc_p.add_argument("--keep-checkpoints", action="store_true",
+                      help="never prune completed campaigns' shards "
+                           "(keeps refinement-to-more-shots cheap)")
+    gc_p.add_argument("--tmp-age", type=float, default=None, metavar="S",
+                      help="age in seconds before an abandoned temp file "
+                           "is prunable (default: 3600)")
+    gc_p.add_argument("--json", action="store_true",
+                      help="print the report as JSON instead of a table")
     return parser
 
 
@@ -160,12 +180,43 @@ def _run_worker(args) -> int:
     return 0
 
 
+def _run_gc(args) -> int:
+    import json as json_mod
+
+    from repro.campaigns.gc import TMP_AGE_S, apply_gc, plan_gc
+    store = args.store
+    if not os.path.isdir(store):
+        print(f"error: {store} is not a directory", file=sys.stderr)
+        return 1
+    tmp_age = args.tmp_age if args.tmp_age is not None else TMP_AGE_S
+    report = plan_gc(store, tmp_age_s=tmp_age,
+                     keep_checkpoints=args.keep_checkpoints)
+    if args.apply:
+        report = apply_gc(report)
+    if args.json:
+        print(json_mod.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    verb = "deleted" if args.apply else "would delete"
+    for candidate in report.candidates:
+        print(f"{verb}  {candidate.reason:<16} {candidate.path}")
+    for path in report.unknown:
+        print(f"skipped  {'unknown':<16} {path}")
+    missed = len(report.missed)
+    print(f"{len(report.candidates)} prunable "
+          f"({report.reclaimable_bytes} bytes), {report.kept} kept"
+          + (f", {missed} raced" if missed else "")
+          + ("" if args.apply else " — dry run, pass --apply to delete"))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "worker":
         return _run_worker(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "gc":
+        return _run_gc(args)
     try:
         spec = _read_spec(args.spec)
     except OSError as exc:

@@ -1,0 +1,222 @@
+"""Garbage collection for a campaign STORE_DIR (``python -m repro gc``).
+
+A long-lived service store accumulates three kinds of dead weight:
+
+* **stale-version result records** — ``results/<hash>-<version>.json``
+  written by older ``repro`` releases.  The cache key includes the
+  version precisely because those results are no longer authoritative;
+  no current reader will ever serve them.
+* **corrupt result records** — files that fail the full record
+  validation (bad JSON, wrong type/format/hash, CRC mismatch).  The
+  store already treats them as misses; results are recomputable by
+  construction, so deleting them costs nothing.
+* **orphaned checkpoint shards** — ``checkpoints/<hash>.jsonl`` whose
+  campaign has a valid current-version result record: the result is
+  served from the cache, so the shard only matters to a future
+  *refinement* of the same campaign to more shots (which would
+  recompute).  Corrupt shards (unreadable or foreign header, which
+  block resume outright) and empty shard files are pruned as repair.
+* **abandoned temp files** — ``.<name>.tmp-<pid>-<tid>`` leftovers
+  from writers killed between write and ``os.replace``.
+
+Everything is **dry-run by default**: :func:`plan_gc` only reports;
+deletion happens through :func:`apply_gc` (the CLI's ``--apply``).
+Deletion is rename-safe against live writers: records and shards land
+atomically via ``os.replace``, so an unlink either removes a complete
+file or loses the race and is skipped (``FileNotFoundError`` is
+tolerated); temp files are only pruned past an age threshold so a
+mid-write temp is never yanked from under its writer.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+#: Minimum age before an abandoned ``.tmp-`` file is prunable.  A
+#: writer holds its temp for milliseconds (write, flush, fsync,
+#: replace); anything this old was orphaned by a kill.
+TMP_AGE_S = 3600.0
+
+_RESULT_NAME = re.compile(r"^([0-9a-f]{16})-(.+)\.json$")
+_SHARD_NAME = re.compile(r"^([0-9a-f]{16})\.jsonl$")
+_TMP_NAME = re.compile(r"^\..*\.tmp-\d+-\d+$")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One file the collector wants to delete, and why."""
+
+    path: Path
+    reason: str
+    size: int
+
+
+@dataclass
+class GcReport:
+    """What a sweep found (and, after :func:`apply_gc`, what it did)."""
+
+    root: Path
+    candidates: list[Candidate] = field(default_factory=list)
+    kept: int = 0
+    unknown: list[Path] = field(default_factory=list)
+    deleted: list[Candidate] = field(default_factory=list)
+    missed: list[Candidate] = field(default_factory=list)
+
+    @property
+    def reclaimable_bytes(self) -> int:
+        return sum(c.size for c in self.candidates)
+
+    def to_dict(self) -> dict:
+        return {
+            "root": str(self.root),
+            "candidates": [{"path": str(c.path), "reason": c.reason,
+                            "size": c.size} for c in self.candidates],
+            "kept": self.kept,
+            "unknown": [str(p) for p in self.unknown],
+            "deleted": [str(c.path) for c in self.deleted],
+            "missed": [str(c.path) for c in self.missed],
+            "reclaimable_bytes": self.reclaimable_bytes,
+        }
+
+
+def _size(path: Path) -> int:
+    try:
+        return path.stat().st_size
+    except OSError:
+        return 0
+
+
+def _tmp_candidates(directory: Path, now: float,
+                    tmp_age_s: float) -> list[Candidate]:
+    out = []
+    for path in directory.iterdir():
+        if not _TMP_NAME.match(path.name):
+            continue
+        try:
+            age = now - path.stat().st_mtime
+        except OSError:
+            continue  # raced with its writer's os.replace: not abandoned
+        if age >= tmp_age_s:
+            out.append(Candidate(path, "abandoned_tmp", _size(path)))
+    return out
+
+
+def _valid_result_hashes(results_dir: Path, version: str) -> set:
+    """Spec hashes with a *valid* current-version record."""
+    from repro.campaigns.store import ResultStore
+    store = ResultStore(results_dir, version=version)
+    valid = set()
+    for path in results_dir.iterdir():
+        match = _RESULT_NAME.match(path.name)
+        if match and match.group(2) == version \
+                and store.get_hash(match.group(1)) is not None:
+            valid.add(match.group(1))
+    return valid
+
+
+def _shard_header_ok(path: Path, spec_hash_: str) -> bool:
+    """Whether the shard's first line is its own well-formed header."""
+    import json
+
+    from repro.campaigns.checkpoint import FORMAT
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            first = fh.readline()
+    except OSError:
+        return False
+    try:
+        header = json.loads(first)
+    except ValueError:
+        return False
+    return (isinstance(header, dict) and header.get("type") == "header"
+            and header.get("format") == FORMAT
+            and header.get("spec_hash") == spec_hash_)
+
+
+def plan_gc(root: Union[str, Path], version: Optional[str] = None,
+            tmp_age_s: float = TMP_AGE_S, keep_checkpoints: bool = False,
+            now: Optional[float] = None) -> GcReport:
+    """Scan a STORE_DIR and report what a sweep would delete.
+
+    Pure planning — nothing is touched.  ``version`` defaults to the
+    running ``repro.__version__`` (the store-key rule); ``now`` is
+    injectable for tests.
+    """
+    if version is None:
+        import repro
+        version = repro.__version__
+    if now is None:
+        now = time.time()
+    root = Path(root)
+    report = GcReport(root=root)
+    results_dir = root / "results"
+    checkpoints_dir = root / "checkpoints"
+
+    valid_hashes: set = set()
+    if results_dir.is_dir():
+        valid_hashes = _valid_result_hashes(results_dir, version)
+        report.candidates.extend(
+            _tmp_candidates(results_dir, now, tmp_age_s))
+        for path in sorted(results_dir.iterdir()):
+            match = _RESULT_NAME.match(path.name)
+            if match is None:
+                if not _TMP_NAME.match(path.name):
+                    report.unknown.append(path)
+                continue
+            spec_hash_, record_version = match.groups()
+            if record_version != version:
+                report.candidates.append(
+                    Candidate(path, "stale_version", _size(path)))
+            elif spec_hash_ in valid_hashes:
+                report.kept += 1
+            else:
+                report.candidates.append(
+                    Candidate(path, "corrupt_record", _size(path)))
+
+    if checkpoints_dir.is_dir():
+        report.candidates.extend(
+            _tmp_candidates(checkpoints_dir, now, tmp_age_s))
+        for path in sorted(checkpoints_dir.iterdir()):
+            match = _SHARD_NAME.match(path.name)
+            if match is None:
+                if not _TMP_NAME.match(path.name):
+                    report.unknown.append(path)
+                continue
+            spec_hash_ = match.group(1)
+            if _size(path) == 0:
+                report.candidates.append(Candidate(path, "empty_shard", 0))
+            elif not _shard_header_ok(path, spec_hash_):
+                report.candidates.append(
+                    Candidate(path, "corrupt_shard", _size(path)))
+            elif spec_hash_ in valid_hashes and not keep_checkpoints:
+                report.candidates.append(
+                    Candidate(path, "completed_shard", _size(path)))
+            else:
+                report.kept += 1
+
+    return report
+
+
+def apply_gc(report: GcReport) -> GcReport:
+    """Delete the report's candidates; records what landed.
+
+    An unlink that loses a race with a concurrent writer
+    (``FileNotFoundError``) is recorded under ``missed`` and is not an
+    error — atomic ``os.replace`` means the file was either complete
+    or already gone, never torn.
+    """
+    for candidate in report.candidates:
+        try:
+            os.unlink(candidate.path)
+        except FileNotFoundError:
+            report.missed.append(candidate)
+        except OSError:
+            report.missed.append(candidate)
+        else:
+            report.deleted.append(candidate)
+    return report

@@ -33,8 +33,8 @@ from repro.campaigns.checkpoint import (FORMAT, CheckpointError,
                                         CheckpointStore, ShardFile,
                                         chunk_record)
 from repro.campaigns.specs import (DetectionSpec, EndToEndSpec, MemorySpec,
-                                   SpecError, spec_from_dict, spec_hash,
-                                   spec_to_dict)
+                                   ScenarioSpec, SpecError, spec_from_dict,
+                                   spec_hash, spec_to_dict)
 from repro.sim.batch import chunk_plan
 
 #: Which spec field carries a chunked campaign's shot request — the one
@@ -44,6 +44,7 @@ SHOT_FIELDS: dict[type, str] = {
     MemorySpec: "samples",
     EndToEndSpec: "shots",
     DetectionSpec: "trials",
+    ScenarioSpec: "shots",
 }
 
 #: The same map keyed by wire kind name (for code holding spec JSON).

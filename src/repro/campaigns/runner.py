@@ -26,8 +26,8 @@ from repro.campaigns.checkpoint import CheckpointError, resolve_store
 from repro.campaigns.executors import Executor, default_executor
 from repro.campaigns.results import CampaignResult, Provenance, SweepResult
 from repro.campaigns.specs import (DetectionSpec, EndToEndSpec, MemorySpec,
-                                   ScalingSpec, StreamingSpec, Sweep,
-                                   ThroughputSpec, spec_hash)
+                                   ScalingSpec, ScenarioSpec, StreamingSpec,
+                                   Sweep, ThroughputSpec, spec_hash)
 from repro.sim.batch import (DetectionShotKernel, EndToEndShotKernel,
                              MemoryShotKernel, chunk_plan,
                              default_chunk_shots, wilson_tight)
@@ -133,8 +133,40 @@ def shot_engine(spec) -> tuple[object, int, int]:
         total = normal_cycles + post_cycles
         return (kernel, spec.trials,
                 total * (spec.distance - 1) * spec.distance)
+    if isinstance(spec, ScenarioSpec):
+        return _scenario_engine(spec)
     raise TypeError(
         f"{type(spec).__name__} is not a chunked shot campaign")
+
+
+def _scenario_engine(spec: ScenarioSpec) -> tuple[object, int, int]:
+    """:func:`shot_engine` for the scenario kind, split by mode.
+
+    The first event donates the scalar knobs the legacy kernel
+    constructors still take (``p_ano``, ``anomaly_size``); with the
+    scenario attached the kernels resolve every event per shot, so
+    those scalars only steer estimation defaults.
+    """
+    d, scenario = spec.distance, spec.scenario
+    if spec.mode == "memory":
+        kernel = MemoryShotKernel(
+            d, spec.p, scenario=scenario, decoder=spec.decoder,
+            informed=spec.informed, cycles=spec.cycles, decode=spec.decode)
+        return kernel, spec.shots, kernel.cycles * d * d
+    first = scenario.events[0]
+    total = spec.total_cycles()
+    if spec.mode == "endtoend":
+        kernel = EndToEndShotKernel(
+            d, spec.p, first.p_ano, first.size, scenario.first_onset,
+            spec.total_cycles(), spec.c_win, spec.n_th, spec.alpha,
+            decode=spec.decode, decoder=spec.decoder, scenario=scenario)
+        return kernel, spec.shots, total * (d - 1) * d
+    normal_cycles, post_cycles = spec.resolved_cycles()
+    kernel = DetectionShotKernel(
+        d, spec.p, first.p_ano, first.size, spec.c_win, spec.n_th,
+        spec.alpha, normal_cycles, post_cycles, scan=spec.decode,
+        scenario=scenario)
+    return kernel, spec.shots, total * (d - 1) * d
 
 
 def effective_batch_size(spec, kernel, shots: int, per_shot_elements: int,
@@ -285,45 +317,24 @@ def _engine_counts(co: _ChunkedOutcome) -> dict:
 # ----------------------------------------------------------------------
 # Campaign kinds
 # ----------------------------------------------------------------------
-@register_campaign(MemorySpec)
-def _run_memory(spec: MemorySpec, executor: Executor,
-                store) -> CampaignResult:
+def _memory_summary(co: _ChunkedOutcome, cycles: int) -> tuple:
+    """``(estimates, counts, detail)`` for a memory-engine outcome."""
     from repro.sim.memory import LogicalErrorEstimate
-    started = time.perf_counter()
-    kernel, shots, per_shot = shot_engine(spec)
-    batch_size = effective_batch_size(spec, kernel, shots, per_shot,
-                                      executor)
-    co = _run_chunked(kernel, spec, shots, batch_size, executor,
-                      store, target_rel_width=spec.target_rel_width)
-    detail = LogicalErrorEstimate(co.successes, co.trials, kernel.cycles)
-    return CampaignResult(
-        kind=spec.kind,
-        estimates={
-            "per_run": detail.per_run,
-            "per_cycle": detail.per_cycle,
-            "per_cycle_std_error": detail.per_cycle_std_error,
-            "std_error": detail.estimate.std_error,
-        },
-        counts={"failures": co.successes, "samples": co.trials,
-                **_engine_counts(co)},
-        provenance=_provenance(spec, executor, started,
-                               packing=spec.packing,
-                               batch_size=co.batch_size,
-                               chunks=co.chunks, resumed=co.resumed,
-                               supervisor=co.supervisor),
-        detail=detail,
-    )
+    detail = LogicalErrorEstimate(co.successes, co.trials, cycles)
+    estimates = {
+        "per_run": detail.per_run,
+        "per_cycle": detail.per_cycle,
+        "per_cycle_std_error": detail.per_cycle_std_error,
+        "std_error": detail.estimate.std_error,
+    }
+    counts = {"failures": co.successes, "samples": co.trials,
+              **_engine_counts(co)}
+    return estimates, counts, detail
 
 
-@register_campaign(EndToEndSpec)
-def _run_endtoend(spec: EndToEndSpec, executor: Executor,
-                  store) -> CampaignResult:
+def _endtoend_summary(co: _ChunkedOutcome) -> tuple:
+    """``(estimates, counts, detail)`` for an end-to-end outcome."""
     from repro.sim.endtoend import EndToEndResult
-    started = time.perf_counter()
-    kernel, shots, per_shot = shot_engine(spec)
-    batch_size = effective_batch_size(spec, kernel, shots, per_shot,
-                                      executor)
-    co = _run_chunked(kernel, spec, shots, batch_size, executor, store)
     out = co.outcomes
     latencies = out[out[:, 3] >= 0, 3]
     detail = EndToEndResult(
@@ -335,36 +346,22 @@ def _run_endtoend(spec: EndToEndSpec, executor: Executor,
         mean_latency=(float(latencies.mean()) if len(latencies)
                       else float("nan")),
     )
-    return CampaignResult(
-        kind=spec.kind,
-        estimates={**{f"{name}_rate": value
-                      for name, value in detail.rates().items()},
-                   "detection_rate": detail.detection_rate,
-                   "mean_latency": detail.mean_latency},
-        counts={"shots": detail.shots,
-                "naive_failures": detail.naive_failures,
-                "detected_failures": detail.detected_failures,
-                "oracle_failures": detail.oracle_failures,
-                "detections": detail.detections,
-                **_engine_counts(co)},
-        provenance=_provenance(spec, executor, started,
-                               packing=spec.packing,
-                               batch_size=co.batch_size,
-                               chunks=co.chunks, resumed=co.resumed,
-                               supervisor=co.supervisor),
-        detail=detail,
-    )
+    estimates = {**{f"{name}_rate": value
+                    for name, value in detail.rates().items()},
+                 "detection_rate": detail.detection_rate,
+                 "mean_latency": detail.mean_latency}
+    counts = {"shots": detail.shots,
+              "naive_failures": detail.naive_failures,
+              "detected_failures": detail.detected_failures,
+              "oracle_failures": detail.oracle_failures,
+              "detections": detail.detections,
+              **_engine_counts(co)}
+    return estimates, counts, detail
 
 
-@register_campaign(DetectionSpec)
-def _run_detection(spec: DetectionSpec, executor: Executor,
-                   store) -> CampaignResult:
+def _detection_summary(co: _ChunkedOutcome) -> tuple:
+    """``(estimates, counts, detail)`` for a detection outcome."""
     from repro.sim.detection import DetectionPerformance
-    started = time.perf_counter()
-    kernel, shots, per_shot = shot_engine(spec)
-    batch_size = effective_batch_size(spec, kernel, shots, per_shot,
-                                      executor)
-    co = _run_chunked(kernel, spec, shots, batch_size, executor, store)
     out = co.outcomes
     latencies = out[out[:, 2] >= 0, 2]
     errors = out[np.isfinite(out[:, 3]), 3]
@@ -377,16 +374,111 @@ def _run_detection(spec: DetectionSpec, executor: Executor,
         mean_position_error=(float(errors.mean()) if len(errors)
                              else float("nan")),
     )
+    estimates = {"false_positive_rate": detail.false_positive_rate,
+                 "miss_rate": detail.miss_rate,
+                 "mean_latency": detail.mean_latency,
+                 "mean_position_error": detail.mean_position_error}
+    counts = {"trials": detail.trials,
+              "false_positives": detail.false_positives,
+              "detections": detail.detections,
+              **_engine_counts(co)}
+    return estimates, counts, detail
+
+
+@register_campaign(MemorySpec)
+def _run_memory(spec: MemorySpec, executor: Executor,
+                store) -> CampaignResult:
+    started = time.perf_counter()
+    kernel, shots, per_shot = shot_engine(spec)
+    batch_size = effective_batch_size(spec, kernel, shots, per_shot,
+                                      executor)
+    co = _run_chunked(kernel, spec, shots, batch_size, executor,
+                      store, target_rel_width=spec.target_rel_width)
+    estimates, counts, detail = _memory_summary(co, kernel.cycles)
     return CampaignResult(
         kind=spec.kind,
-        estimates={"false_positive_rate": detail.false_positive_rate,
-                   "miss_rate": detail.miss_rate,
-                   "mean_latency": detail.mean_latency,
-                   "mean_position_error": detail.mean_position_error},
-        counts={"trials": detail.trials,
-                "false_positives": detail.false_positives,
-                "detections": detail.detections,
-                **_engine_counts(co)},
+        estimates=estimates,
+        counts=counts,
+        provenance=_provenance(spec, executor, started,
+                               packing=spec.packing,
+                               batch_size=co.batch_size,
+                               chunks=co.chunks, resumed=co.resumed,
+                               supervisor=co.supervisor),
+        detail=detail,
+    )
+
+
+@register_campaign(EndToEndSpec)
+def _run_endtoend(spec: EndToEndSpec, executor: Executor,
+                  store) -> CampaignResult:
+    started = time.perf_counter()
+    kernel, shots, per_shot = shot_engine(spec)
+    batch_size = effective_batch_size(spec, kernel, shots, per_shot,
+                                      executor)
+    co = _run_chunked(kernel, spec, shots, batch_size, executor, store)
+    estimates, counts, detail = _endtoend_summary(co)
+    return CampaignResult(
+        kind=spec.kind,
+        estimates=estimates,
+        counts=counts,
+        provenance=_provenance(spec, executor, started,
+                               packing=spec.packing,
+                               batch_size=co.batch_size,
+                               chunks=co.chunks, resumed=co.resumed,
+                               supervisor=co.supervisor),
+        detail=detail,
+    )
+
+
+@register_campaign(DetectionSpec)
+def _run_detection(spec: DetectionSpec, executor: Executor,
+                   store) -> CampaignResult:
+    started = time.perf_counter()
+    kernel, shots, per_shot = shot_engine(spec)
+    batch_size = effective_batch_size(spec, kernel, shots, per_shot,
+                                      executor)
+    co = _run_chunked(kernel, spec, shots, batch_size, executor, store)
+    estimates, counts, detail = _detection_summary(co)
+    return CampaignResult(
+        kind=spec.kind,
+        estimates=estimates,
+        counts=counts,
+        provenance=_provenance(spec, executor, started,
+                               packing=spec.packing,
+                               batch_size=co.batch_size,
+                               chunks=co.chunks, resumed=co.resumed,
+                               supervisor=co.supervisor),
+        detail=detail,
+    )
+
+
+@register_campaign(ScenarioSpec)
+def _run_scenario(spec: ScenarioSpec, executor: Executor,
+                  store) -> CampaignResult:
+    """One scenario campaign through the mode's chunked engine.
+
+    The chunk plan, resume semantics, and early stopping are exactly
+    the legacy kind's — only the summary changes shape with the mode —
+    so a single-event scenario campaign is comparable line by line with
+    its legacy counterpart.
+    """
+    started = time.perf_counter()
+    kernel, shots, per_shot = shot_engine(spec)
+    batch_size = effective_batch_size(spec, kernel, shots, per_shot,
+                                      executor)
+    rel_width = spec.target_rel_width if spec.mode == "memory" else None
+    co = _run_chunked(kernel, spec, shots, batch_size, executor, store,
+                      target_rel_width=rel_width)
+    if spec.mode == "memory":
+        estimates, counts, detail = _memory_summary(co, kernel.cycles)
+    elif spec.mode == "endtoend":
+        estimates, counts, detail = _endtoend_summary(co)
+    else:
+        estimates, counts, detail = _detection_summary(co)
+    return CampaignResult(
+        kind=spec.kind,
+        estimates=estimates,
+        counts=counts,
         provenance=_provenance(spec, executor, started,
                                packing=spec.packing,
                                batch_size=co.batch_size,

@@ -7,12 +7,15 @@ campaign fails before any compute is spent, and :func:`spec_hash` gives
 every spec a stable identity that keys its checkpoint shards and
 provenance block.
 
-Six kinds cover the paper's evaluations:
+Seven kinds cover the paper's evaluations:
 
 * :class:`MemorySpec`     — logical-memory Monte Carlo (Figs. 3/8).
 * :class:`EndToEndSpec`   — detect/estimate/re-decode strikes (Fig. 8's
   closed loop).
 * :class:`DetectionSpec`  — detection-unit tuning trials (Fig. 7).
+* :class:`ScenarioSpec`   — a :class:`repro.scenarios.Scenario` (multi
+  strike, heterogeneous/drifting base rate) driven through the memory,
+  end-to-end, or detection shot engine.
 * :class:`StreamingSpec`  — online round-by-round detection with
   per-round latency SLOs (the paper's real-time operating mode).
 * :class:`ScalingSpec`    — required-density curves (Fig. 9; analytic
@@ -38,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional, Union
 
 from repro.noise.models import AnomalousRegion
+from repro.scenarios.model import Scenario
 from repro.sim.batch import DECODE_MODES, PACKING_MODES
 
 #: Largest campaign seed (the engine draws seeds below 2**63).
@@ -201,6 +205,130 @@ class DetectionSpec:
         return normal, post
 
 
+#: Shot engines a :class:`ScenarioSpec` may drive.
+SCENARIO_MODES = ("memory", "endtoend", "detection")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One scenario campaign: a strike timeline through a shot engine.
+
+    A :class:`repro.scenarios.Scenario` — any number of strike events
+    (overlapping or back-to-back), an optional per-qubit base-rate
+    field, an optional temporal drift profile — is driven through one of
+    the three chunked shot engines selected by ``mode``:
+
+    * ``"memory"``    — logical-error Monte Carlo; events must carry
+      fixed positions (the noise model applies them chunk-wide).
+    * ``"endtoend"``  — detect/estimate/re-decode; events without
+      positions are re-drawn per shot, and ``cycles`` must be given
+      explicitly (the timeline, not a single onset, sets the horizon).
+    * ``"detection"`` — detection-unit trials; the pre-strike window is
+      the first event's onset and the exposure runs ``post_cycles``
+      beyond it.
+
+    The degenerate single-fixed-event, uniform-base scenario is
+    contractually bit-identical per ``(seed, batch_size)`` to the
+    legacy ``region``-field specs (see CONTRACTS.md).
+    """
+
+    kind = "scenario"
+
+    distance: int
+    p: float
+    shots: int
+    scenario: Scenario = Scenario()
+    mode: str = "memory"
+    decoder: str = "greedy"
+    informed: bool = False
+    cycles: Optional[int] = None
+    c_win: int = 100
+    n_th: int = 8
+    alpha: float = 0.01
+    post_cycles: Optional[int] = None
+    seed: int = 0
+    batch_size: Optional[int] = None
+    target_rel_width: Optional[float] = None
+    packing: str = "bits"
+    decode: str = "batched"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.scenario, dict):
+            try:
+                object.__setattr__(self, "scenario",
+                                   Scenario.from_dict(self.scenario))
+            except (TypeError, ValueError) as exc:
+                raise SpecError(f"invalid scenario: {exc}") from exc
+        _check(isinstance(self.scenario, Scenario),
+               "scenario must be a Scenario (or its wire dict)")
+        _check_common(self)
+        _check(self.shots >= 1, "shots must be >= 1")
+        _check(self.mode in SCENARIO_MODES,
+               f"mode must be one of {SCENARIO_MODES}")
+        _check(self.decoder in ("greedy", "mwpm"),
+               "decoder must be 'greedy' or 'mwpm'")
+        _check(self.cycles is None or self.cycles >= 1,
+               "cycles must be >= 1")
+        _check(self.c_win >= 1, "c_win must be >= 1")
+        _check(self.n_th >= 0, "n_th must be >= 0")
+        _check(0.0 < self.alpha < 1.0, "alpha must be in (0, 1)")
+        _check(self.post_cycles is None or self.post_cycles >= 1,
+               "post_cycles must be >= 1")
+        _check(self.decode in DECODE_MODES,
+               f"decode must be one of {DECODE_MODES}")
+        _check(self.target_rel_width is None or self.target_rel_width > 0,
+               "target_rel_width must be positive")
+        scenario = self.scenario
+        if scenario.rate_field is not None:
+            _check(scenario.rate_field_distance == self.distance,
+                   f"scenario rate_field is for distance "
+                   f"{scenario.rate_field_distance}, spec says "
+                   f"{self.distance}")
+        if self.mode == "memory":
+            _check(scenario.fixed,
+                   "memory-mode scenarios need fixed event positions")
+            _check(self.post_cycles is None,
+                   "post_cycles is a detection-mode knob")
+        else:
+            _check(len(scenario.events) >= 1,
+                   f"{self.mode}-mode scenarios need at least one event")
+            if self.mode == "endtoend":
+                _check(self.cycles is not None,
+                       "endtoend mode needs explicit cycles (the "
+                       "timeline, not a single onset, sets the horizon)")
+                _check(scenario.first_onset < self.cycles,
+                       "the first strike must land inside the run")
+                _check(self.post_cycles is None,
+                       "post_cycles is a detection-mode knob")
+            else:
+                _check(self.cycles is None,
+                       "detection mode derives cycles from the first "
+                       "onset and post_cycles")
+                _check(scenario.first_onset >= 1,
+                       "detection scenarios need a pre-strike window "
+                       "(first onset >= 1)")
+
+    def resolved_cycles(self) -> tuple[int, int]:
+        """Detection-mode ``(normal_cycles, post_cycles)``.
+
+        The pre-strike window *is* the first event's onset; the post
+        window defaults to the legacy ``4 * c_win``.
+        """
+        post = (self.post_cycles if self.post_cycles is not None
+                else 4 * self.c_win)
+        return self.scenario.first_onset, post
+
+    def total_cycles(self) -> int:
+        """The exposure this campaign simulates, whatever the mode."""
+        if self.mode == "memory":
+            return self.cycles if self.cycles is not None else self.distance
+        if self.mode == "endtoend":
+            assert self.cycles is not None  # validated at construction
+            return self.cycles
+        normal, post = self.resolved_cycles()
+        return normal + post
+
+
 @dataclass(frozen=True)
 class StreamingSpec:
     """One online streaming campaign (see :mod:`repro.streaming`).
@@ -322,12 +450,12 @@ class ThroughputSpec:
 #: Spec kinds by their wire name (Sweep handled separately).
 SPEC_KINDS: dict[str, type] = {
     cls.kind: cls
-    for cls in (MemorySpec, EndToEndSpec, DetectionSpec, StreamingSpec,
-                ScalingSpec, ThroughputSpec)
+    for cls in (MemorySpec, EndToEndSpec, DetectionSpec, ScenarioSpec,
+                StreamingSpec, ScalingSpec, ThroughputSpec)
 }
 
-CampaignSpec = Union[MemorySpec, EndToEndSpec, DetectionSpec, StreamingSpec,
-                     ScalingSpec, ThroughputSpec]
+CampaignSpec = Union[MemorySpec, EndToEndSpec, DetectionSpec, ScenarioSpec,
+                     StreamingSpec, ScalingSpec, ThroughputSpec]
 
 
 @dataclass(frozen=True)
@@ -402,6 +530,8 @@ def _jsonify(value: Any) -> Any:
     if isinstance(value, AnomalousRegion):
         return {name: getattr(value, name)
                 for name in ("row_lo", "col_lo", "size", "t_lo", "t_hi")}
+    if isinstance(value, Scenario):
+        return value.to_dict()
     if isinstance(value, dict):
         return {k: _jsonify(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):

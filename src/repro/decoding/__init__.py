@@ -19,7 +19,8 @@ provides:
 """
 
 from repro.decoding.graph import SyndromeLattice
-from repro.decoding.weights import DistanceModel, NORTH, SOUTH
+from repro.decoding.weights import (DistanceModel, MultiRegionDistanceModel,
+                                    NORTH, SOUTH)
 from repro.decoding.mwpm import MWPMDecoder
 from repro.decoding.greedy import (FastGreedyDecoder, GreedyDecoder,
                                    greedy_cut_parity, greedy_decode_fast)
@@ -31,6 +32,7 @@ from repro.decoding.batched import (ScratchArena, batched_cut_parities,
 __all__ = [
     "SyndromeLattice",
     "DistanceModel",
+    "MultiRegionDistanceModel",
     "MWPMDecoder",
     "GreedyDecoder",
     "FastGreedyDecoder",

@@ -58,6 +58,7 @@ from repro.decoding.decoder_base import DecodeResult, Match
 from repro.decoding.greedy import (_greedy_fast_core, _upper_mask,
                                    greedy_decode_fast)
 from repro.decoding.weights import (NORTH, SOUTH, DistanceModel,
+                                    MultiRegionDistanceModel,
                                     region_signature)
 
 #: Per-bucket element budget of the float fallback tier's ``(S, n, n)``
@@ -147,7 +148,16 @@ def _chunk_eligible(model: DistanceModel, allc: np.ndarray) -> bool:
     weight) whose row origin sits on the lattice.  Anything outside
     decodes through the per-shot reference core (or, for weighted
     regions, the float bucketed tier) instead.
+
+    Multi-region models (``model.regions``, e.g.
+    :class:`~repro.decoding.weights.MultiRegionDistanceModel`) always
+    decline: their ``region`` is ``None`` by design, and routing them
+    into the uniform integer engine would silently drop every box.
+    They take the certified per-shot float core (the envelope extension
+    is follow-on work).
     """
+    if getattr(model, "regions", None):
+        return False
     reg = model.region
     if reg is not None:
         if model.w_ano != 0.0:
@@ -819,6 +829,15 @@ def batched_region_cut_parities(distance: int, regions: list,
     that envelope shots group by :func:`region_signature` and each
     group decodes through :func:`batched_cut_parities` (integer engine,
     float bucketed tier, or per-shot core — whatever its model admits).
+
+    A shot's entry in ``regions`` may also be a *sequence* of regions
+    (a multi-event scenario shot).  An empty sequence is the uniform
+    model and a length-1 sequence is exactly its single region (both
+    bit-identical to the legacy entry forms); two or more regions
+    decode through the certified per-shot core under a
+    :class:`~repro.decoding.weights.MultiRegionDistanceModel` — the
+    fallback-first tier the scenario subsystem contracts (extending the
+    integer envelope to multi-box shots is follow-on work).
     """
     S = len(nodes_list)
     if len(regions) != S:
@@ -832,12 +851,28 @@ def batched_region_cut_parities(distance: int, regions: list,
     sub_nodes: list = []
     sub_regs: list = []
     sub_idx: list = []
+    multi: list = []
     for s, nodes in enumerate(nodes_list):
         nodes = np.asarray(nodes)
-        if len(nodes):
-            sub_nodes.append(nodes)
-            sub_regs.append(regions[s])
-            sub_idx.append(s)
+        if not len(nodes):
+            continue
+        reg = regions[s]
+        if isinstance(reg, (list, tuple)):
+            if len(reg) == 0:
+                reg = None
+            elif len(reg) == 1:
+                reg = reg[0]
+            else:
+                multi.append((s, tuple(reg), nodes))
+                continue
+        sub_nodes.append(nodes)
+        sub_regs.append(reg)
+        sub_idx.append(s)
+
+    for s, regs, nodes in multi:
+        model = MultiRegionDistanceModel(distance, regs, w_ano)
+        out[s] = _greedy_fast_core(model, nodes, False)[1] & 1
+
     if not sub_nodes:
         return out
 

@@ -262,3 +262,111 @@ class DistanceModel:
         """Matching distance from a node to its cheaper boundary."""
         dist, side = self.boundary(np.array([a], dtype=float))
         return float(dist[0]), int(side[0])
+
+
+class MultiRegionDistanceModel:
+    """Matching distances with several (possibly overlapping) regions.
+
+    The candidate-path family generalizes :class:`DistanceModel`:
+    direct Manhattan, or a detour via any *single* anomalous box (each
+    with its own weight) — the cheapest wins.  Chained multi-box
+    detours are not enumerated, matching the paper's candidate-path
+    greedy construction; for disjoint strike windows (the catalog's
+    back-to-back case) the single-box set is exhaustive.
+
+    Composes with both decoder families as-is: greedy
+    (:func:`repro.decoding.greedy.greedy_cut_parity`) and
+    :class:`repro.decoding.mwpm.MWPMDecoder` consume only
+    ``pairwise`` / ``boundary``.  ``region`` is ``None`` and
+    ``pairwise_int`` declines on purpose: the single-box zero-clique
+    prematch is invalid under overlapping boxes (zero distance is not
+    transitive across disjoint boxes), so the generic float acceptance
+    path — which is exact — must be taken.  The batched engine's
+    eligibility guards key on the ``regions`` attribute
+    (:mod:`repro.decoding.batched`).
+
+    Args:
+        distance: code distance ``d``.
+        regions: the anomalous boxes, one per strike event.
+        w_ano: one weight for all boxes, or one weight per box.
+    """
+
+    def __init__(self, distance: int, regions,
+                 w_ano=0.0):
+        self.distance = distance
+        self.regions = tuple(regions)
+        if not self.regions:
+            raise ValueError("need at least one region (else use "
+                             "DistanceModel)")
+        if np.ndim(w_ano) == 0:
+            w_anos = (float(w_ano),) * len(self.regions)
+        else:
+            w_anos = tuple(float(w) for w in w_ano)
+        if len(w_anos) != len(self.regions):
+            raise ValueError("need one w_ano per region (or a scalar)")
+        self.w_anos = w_anos
+        #: Single-box specializations (zero cliques, float bucket tier)
+        #: must not engage — see the class docstring.
+        self.region = None
+        self.w_ano = max(w_anos)
+        self._models = tuple(
+            DistanceModel(distance, reg, w)
+            for reg, w in zip(self.regions, w_anos, strict=True))
+
+    def pairwise(self, nodes: np.ndarray) -> np.ndarray:
+        """All-pairs matching distances for an ``(n, 3)`` node array."""
+        nodes = np.asarray(nodes, dtype=float)
+        out = np.abs(nodes[:, None, :] - nodes[None, :, :]).sum(axis=2)
+        t_max = int(nodes[:, 0].max(initial=0))
+        for sub in self._models:
+            lo, hi = sub._box_bounds(t_max)
+            clamped = np.clip(nodes, lo, hi)
+            to_box = np.abs(nodes - clamped).sum(axis=1)
+            inside = np.abs(clamped[:, None, :]
+                            - clamped[None, :, :]).sum(axis=2)
+            via = to_box[:, None] + to_box[None, :] + sub.w_ano * inside
+            out = np.minimum(out, via)
+        return out
+
+    def pairwise_int(self, nodes: np.ndarray) -> Optional[np.ndarray]:
+        """Always ``None``: the integer specialization's zero-clique
+        prematch assumes one box, so multi-region decodes take the
+        generic float path."""
+        return None
+
+    def pairwise_fast(self, nodes: np.ndarray) -> np.ndarray:
+        return self.pairwise(nodes)
+
+    def boundary(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Distance to the nearest boundary and which one.
+
+        Per boundary, the minimum over the direct approach and the
+        detour via each box (the same per-box via math as
+        :meth:`DistanceModel.boundary`).
+        """
+        nodes = np.asarray(nodes, dtype=float)
+        north = nodes[:, 1] + 1.0
+        south = (self.distance - 1) - nodes[:, 1]
+        t_max = int(nodes[:, 0].max(initial=0))
+        for sub in self._models:
+            lo, hi = sub._box_bounds(t_max)
+            clamped = np.clip(nodes, lo, hi)
+            to_box = np.abs(nodes - clamped).sum(axis=1)
+            north_via = (to_box + sub.w_ano * (clamped[:, 1] - lo[1])
+                         + (lo[1] + 1.0))
+            south_via = (to_box + sub.w_ano * (hi[1] - clamped[:, 1])
+                         + (self.distance - 1 - hi[1]))
+            north = np.minimum(north, north_via)
+            south = np.minimum(south, south_via)
+        side = np.where(north <= south, NORTH, SOUTH)
+        return np.minimum(north, south), side
+
+    def node_distance(self, a, b) -> float:
+        """Matching distance between two (t, i, j) nodes."""
+        arr = np.array([a, b], dtype=float)
+        return float(self.pairwise(arr)[0, 1])
+
+    def boundary_distance(self, a) -> tuple[float, int]:
+        """Matching distance from a node to its cheaper boundary."""
+        dist, side = self.boundary(np.array([a], dtype=float))
+        return float(dist[0]), int(side[0])

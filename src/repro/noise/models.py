@@ -17,9 +17,12 @@ for the Z-decoding lattice of a distance-``d`` planar code:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.scenarios.model import Scenario
 
 
 @dataclass(frozen=True)
@@ -137,6 +140,14 @@ class PhenomenologicalNoise:
         p_ano: physical error rate for anomalous qubits (default 0.5, the
             paper's Sec. III / VII setting).
         region: optional anomalous region.
+        scenario: optional :class:`repro.scenarios.model.Scenario`
+            generalizing ``region`` to many (possibly overlapping)
+            fixed-position events over an optionally heterogeneous /
+            drifting base rate.  Mutually exclusive with ``region``.
+            A single-event uniform-base scenario draws the *identical*
+            uniform stream as the equivalent ``region`` path, so its
+            samples are bit-identical per ``(seed, batch_size)``
+            (docs/CONTRACTS.md).
     """
 
     def __init__(
@@ -145,16 +156,38 @@ class PhenomenologicalNoise:
         p: float,
         p_ano: float = 0.5,
         region: Optional[AnomalousRegion] = None,
+        scenario: Optional["Scenario"] = None,
     ):
         if not 0.0 <= p <= 1.0 or not 0.0 <= p_ano <= 1.0:
             raise ValueError("error rates must be probabilities")
         if distance < 2:
             raise ValueError("distance must be >= 2")
+        if scenario is not None and region is not None:
+            raise ValueError("pass either region or scenario, not both")
         self.distance = distance
         self.p = p
         self.p_ano = p_ano
         self.region = region
+        self.scenario = scenario
         self._masks = build_anomalous_masks(distance, region)
+        self._overlays: tuple = ()
+        self._thr_cache: dict = {}
+        if scenario is not None:
+            if not scenario.fixed:
+                raise ValueError(
+                    "noise-level scenarios need fixed event positions; "
+                    "per-shot random positions are the shot kernels' job")
+            if (scenario.rate_field_distance is not None
+                    and scenario.rate_field_distance != distance):
+                raise ValueError(
+                    f"scenario rate_field implies distance "
+                    f"{scenario.rate_field_distance}, noise model has "
+                    f"distance {distance}")
+            self._overlays = tuple(
+                (event.region(),
+                 build_anomalous_masks(distance, event.region()),
+                 event.p_ano)
+                for event in scenario.events)
 
     @property
     def anomalous_masks(self):
@@ -183,6 +216,8 @@ class PhenomenologicalNoise:
         """
         if shots < 1:
             raise ValueError("need at least one shot")
+        if self.scenario is not None:
+            return self._sample_batch_scenario(shots, cycles, rng)
         d = self.distance
         v = rng.random((shots, cycles, d, d)) < self.p
         h = rng.random((shots, cycles, d - 1, d - 1)) < self.p
@@ -225,6 +260,8 @@ class PhenomenologicalNoise:
 
         if shots < 1:
             raise ValueError("need at least one shot")
+        if self.scenario is not None:
+            return self._sample_batch_packed_scenario(shots, cycles, rng)
         d = self.distance
         words = word_count(shots)
         shapes = ((d, d), (d - 1, d - 1), (d - 1, d))
@@ -254,4 +291,108 @@ class PhenomenologicalNoise:
                     for w0, nw, n in blocks():
                         arr[w0:w0 + nw, t_lo:t_hi][:, :, mask] = pack_shots(
                             rng.random((n, span, k)) < self.p_ano)
+        return tuple(packed)
+
+    # ------------------------------------------------------------------
+    # Scenario sampling (multi-event, heterogeneous/drifting base)
+    # ------------------------------------------------------------------
+    def _thresholds(self, cycles: int):
+        """Per-cycle base-rate arrays, or ``None`` for a uniform base.
+
+        Cached per ``cycles`` — the expansion is pure in (scenario, p,
+        distance, cycles) and every chunk of a campaign asks for the
+        same window.
+        """
+        if self.scenario is None or self.scenario.uniform_base:
+            return None
+        cached = self._thr_cache.get(cycles)
+        if cached is None:
+            cached = self.scenario.rate_arrays(self.distance, self.p, cycles)
+            self._thr_cache[cycles] = cached
+        return cached
+
+    def _overlay_window(self, region: AnomalousRegion, cycles: int):
+        """The clipped ``(t_lo, t_hi)`` of an event inside the window."""
+        t_hi = region.t_hi if region.t_hi is not None else cycles
+        return max(0, region.t_lo), min(cycles, t_hi)
+
+    def _sample_batch_scenario(self, shots: int, cycles: int,
+                               rng: np.random.Generator):
+        """:meth:`sample_batch` for a scenario noise model.
+
+        Draw discipline (the bit-identity contract): the base arrays
+        draw in v, h, m order with one generator call each — a uniform
+        base compares against the scalar ``p`` exactly as the legacy
+        path — then events overwrite in declaration order, each drawing
+        v, h, m overlay blocks of the same shapes the legacy region
+        overwrite draws.  A single-event uniform-base scenario is
+        therefore bit-identical to the legacy ``region`` path.
+        """
+        d = self.distance
+        thr = self._thresholds(cycles)
+        if thr is None:
+            v = rng.random((shots, cycles, d, d)) < self.p
+            h = rng.random((shots, cycles, d - 1, d - 1)) < self.p
+            m = rng.random((shots, cycles, d - 1, d)) < self.p
+        else:
+            thr_v, thr_h, thr_m = thr
+            v = rng.random((shots, cycles, d, d)) < thr_v
+            h = rng.random((shots, cycles, d - 1, d - 1)) < thr_h
+            m = rng.random((shots, cycles, d - 1, d)) < thr_m
+        for region, masks, p_ano in self._overlays:
+            if thr is None and p_ano == self.p:
+                continue  # the legacy "region at base rate" no-op gate
+            t_lo, t_hi = self._overlay_window(region, cycles)
+            if t_hi <= t_lo:
+                continue
+            span = t_hi - t_lo
+            for arr, mask in zip((v, h, m), masks, strict=True):
+                arr[:, t_lo:t_hi][:, :, mask] = (
+                    rng.random((shots, span, int(mask.sum()))) < p_ano)
+        return v, h, m
+
+    def _sample_batch_packed_scenario(self, shots: int, cycles: int,
+                                      rng: np.random.Generator):
+        """:meth:`sample_batch_packed` for a scenario noise model.
+
+        Same word-aligned block structure as the legacy packed path
+        (arrays outer, :data:`PACKED_SAMPLE_CHUNK`-shot blocks inner,
+        overlays after the base), so the packed bits equal
+        :meth:`_sample_batch_scenario`'s bits for any scenario, and a
+        single-event uniform-base scenario equals the legacy packed
+        region path stream for stream.
+        """
+        from repro.sim.bitops import pack_shots, word_count
+
+        d = self.distance
+        words = word_count(shots)
+        shapes = ((d, d), (d - 1, d - 1), (d - 1, d))
+        thr = self._thresholds(cycles)
+
+        def blocks():
+            for start in range(0, shots, PACKED_SAMPLE_CHUNK):
+                n = min(PACKED_SAMPLE_CHUNK, shots - start)
+                yield start // 64, word_count(n), n
+
+        packed = []
+        for idx, shape in enumerate(shapes):
+            arr = np.empty((words, cycles) + shape, dtype=np.uint64)
+            for w0, nw, n in blocks():
+                u = rng.random((n, cycles) + shape)
+                arr[w0:w0 + nw] = pack_shots(
+                    u < (self.p if thr is None else thr[idx]))
+            packed.append(arr)
+
+        for region, masks, p_ano in self._overlays:
+            if thr is None and p_ano == self.p:
+                continue
+            t_lo, t_hi = self._overlay_window(region, cycles)
+            if t_hi <= t_lo:
+                continue
+            span = t_hi - t_lo
+            for arr, mask in zip(packed, masks, strict=True):
+                k = int(mask.sum())
+                for w0, nw, n in blocks():
+                    arr[w0:w0 + nw, t_lo:t_hi][:, :, mask] = pack_shots(
+                        rng.random((n, span, k)) < p_ano)
         return tuple(packed)

@@ -1,0 +1,34 @@
+"""Declarative noise-scenario catalog (multi-event, beyond cosmic rays).
+
+:mod:`repro.scenarios.model` defines the frozen, JSON-round-trippable
+:class:`Scenario` / :class:`StrikeEvent` description;
+:mod:`repro.scenarios.catalog` holds the named catalog entries
+(``register_scenario``) that ``python -m repro run`` and
+``benchmarks/bench_scenarios.py`` drive.  See docs/API.md ("Scenario
+catalog") and docs/CONTRACTS.md for the bit-identity contract with the
+legacy single-region path.
+"""
+
+from repro.scenarios.model import Scenario, ScenarioError, StrikeEvent
+
+#: Catalog names re-exported lazily: the catalog builds
+#: :class:`repro.campaigns.ScenarioSpec` objects, and ``campaigns.specs``
+#: itself imports :mod:`repro.scenarios.model` — importing the catalog
+#: eagerly here would close that loop mid-initialization.
+_CATALOG_EXPORTS = ("catalog_spec", "register_scenario", "scenario_catalog")
+
+
+def __getattr__(name: str):
+    if name in _CATALOG_EXPORTS:
+        from repro.scenarios import catalog
+        return getattr(catalog, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Scenario",
+    "ScenarioError",
+    "StrikeEvent",
+    "catalog_spec",
+    "register_scenario",
+    "scenario_catalog",
+]

@@ -1,0 +1,167 @@
+"""The named scenario catalog: curated stress cases beyond Fig. 8.
+
+Each entry is a zero-argument builder returning a ready-to-run
+:class:`repro.campaigns.ScenarioSpec` (or a :class:`Sweep` of them),
+registered under a stable name with :func:`register_scenario`.  The
+catalog is the single source the benchmarks, the
+``examples/beyond_cosmic_rays.py`` driver, and the docs table draw
+from, so a scenario added here shows up everywhere at once (and
+``tools/check_docs.py`` fails CI if the README table goes stale).
+
+``catalog_spec(name, **overrides)`` materializes an entry; overrides
+apply to the spec (or a sweep's base spec), so callers can cheapen the
+shot request without re-declaring the timeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Union
+
+from repro.campaigns.specs import ScenarioSpec, Sweep
+from repro.scenarios.model import Scenario, ScenarioError, StrikeEvent
+
+CatalogEntry = Union[ScenarioSpec, Sweep]
+
+#: name -> zero-argument spec builder, in registration order.
+_CATALOG: dict[str, Callable[[], CatalogEntry]] = {}
+
+
+def register_scenario(name: str):
+    """Register a zero-argument builder under a stable catalog name."""
+    def decorate(fn: Callable[[], CatalogEntry]):
+        if name in _CATALOG:
+            raise ScenarioError(f"scenario {name!r} is already registered")
+        _CATALOG[name] = fn
+        return fn
+    return decorate
+
+
+def scenario_catalog() -> dict[str, str]:
+    """Catalog name -> one-line description, in registration order."""
+    return {name: (fn.__doc__ or "").strip().splitlines()[0]
+            for name, fn in _CATALOG.items()}
+
+
+def catalog_spec(name: str, **overrides) -> CatalogEntry:
+    """Materialize the named entry, applying spec-field overrides.
+
+    Overrides land on the spec itself — or, for a sweep entry, on the
+    sweep's base spec — so e.g. ``shots=50`` cheapens any entry.
+    """
+    fn = _CATALOG.get(name)
+    if fn is None:
+        raise ScenarioError(
+            f"unknown scenario {name!r} (choices: {sorted(_CATALOG)})")
+    spec = fn()
+    if not overrides:
+        return spec
+    if isinstance(spec, Sweep):
+        return Sweep(base=dataclasses.replace(spec.base, **overrides),
+                     axes=spec.axes, derive_seeds=spec.derive_seeds)
+    return dataclasses.replace(spec, **overrides)
+
+
+# ----------------------------------------------------------------------
+# The entries
+# ----------------------------------------------------------------------
+@register_scenario("overlapping-strikes")
+def _overlapping_strikes() -> ScenarioSpec:
+    """Two strikes whose damage boxes overlap mid-lattice.
+
+    The paper's model is one cosmic-ray event at a time; two rays
+    landing close together produce a merged high-error patch where the
+    zero-distance shortcut of the single-region decoder is invalid.
+    Exercises :class:`repro.decoding.MultiRegionDistanceModel` through
+    the informed memory engine.
+    """
+    return ScenarioSpec(
+        distance=7, p=0.01, shots=400, mode="memory", informed=True,
+        cycles=20,
+        scenario=Scenario(events=(
+            StrikeEvent(onset=0, size=3, row=1, col=1, p_ano=0.5),
+            StrikeEvent(onset=4, size=3, row=2, col=2, p_ano=0.3),
+        )))
+
+
+@register_scenario("back-to-back-strikes")
+def _back_to_back_strikes() -> ScenarioSpec:
+    """A second strike arriving while the first is still decaying.
+
+    Stresses the detection unit's mask-clear logic: the first burst
+    ends exactly as the second begins at the same position, so a
+    detector that resets on the first decay edge must re-arm in time.
+    """
+    return ScenarioSpec(
+        distance=9, p=0.005, shots=40, mode="detection",
+        c_win=100, n_th=8,
+        scenario=Scenario(events=(
+            StrikeEvent(onset=200, duration=80, size=4, row=2, col=2,
+                        p_ano=0.5),
+            StrikeEvent(onset=280, duration=80, size=4, row=2, col=2,
+                        p_ano=0.5),
+        )))
+
+
+@register_scenario("heterogeneous-base-rate")
+def _heterogeneous_base_rate() -> ScenarioSpec:
+    """A static hot corner: one quadrant runs at triple the base rate.
+
+    No strikes at all — the scenario is a spatial per-qubit error-rate
+    field, modelling a chip whose fabrication left one corner worse.
+    """
+    rows, cols = 4, 5  # distance 5: (d-1) x d measure-qubit grid
+    field = tuple(
+        tuple(3.0 if (r < 2 and c < 2) else 1.0 for c in range(cols))
+        for r in range(rows))
+    return ScenarioSpec(
+        distance=5, p=0.01, shots=800, mode="memory", cycles=10,
+        scenario=Scenario(rate_field=field))
+
+
+@register_scenario("drifting-base-rate")
+def _drifting_base_rate() -> ScenarioSpec:
+    """The whole chip warming up: base rate ramps 1x -> 2.5x over time.
+
+    A temporal drift profile with no strikes — calibration decay rather
+    than a burst.  The last profile entry holds for the remaining
+    cycles.
+    """
+    return ScenarioSpec(
+        distance=5, p=0.008, shots=800, mode="memory", cycles=12,
+        scenario=Scenario(drift=(1.0, 1.25, 1.5, 1.75, 2.0, 2.5)))
+
+
+@register_scenario("leakage-burst")
+def _leakage_burst() -> ScenarioSpec:
+    """A long-lived single-site leakage burst (ion-trap regime).
+
+    One size-1 event lasting far longer than a cosmic-ray transient,
+    tagged with the ``leakage`` burst source from
+    :mod:`repro.noise.leakage` (recommended policy: relocate, not
+    expand).  Position is re-drawn per trial.
+    """
+    return ScenarioSpec(
+        distance=9, p=0.005, shots=40, mode="detection",
+        c_win=100, n_th=8,
+        scenario=Scenario(events=(
+            StrikeEvent(onset=200, duration=300, size=1, p_ano=0.3,
+                        source="leakage"),
+        )))
+
+
+@register_scenario("decoder-frontier")
+def _decoder_frontier() -> Sweep:
+    """Greedy vs exact MWPM on one anomalous-patch memory campaign.
+
+    A two-point sweep over the decoder family, same seed derivation and
+    timeline, quantifying the accuracy the hardware-friendly greedy
+    decoder gives up under burst noise (paper Sec. V trade-off).
+    """
+    base = ScenarioSpec(
+        distance=5, p=0.01, shots=200, mode="memory", informed=True,
+        cycles=10,
+        scenario=Scenario(events=(
+            StrikeEvent(onset=2, size=2, row=1, col=1, p_ano=0.4),
+        )))
+    return Sweep(base=base, axes={"decoder": ("greedy", "mwpm")})

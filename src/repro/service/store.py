@@ -52,6 +52,20 @@ SUCCESS_COLUMNS: dict[str, int] = {
 }
 
 
+def _success_column(kind: object, spec_doc: object) -> int:
+    """The streamed-estimate column for a shard's kind.
+
+    Scenario campaigns pick their engine per spec, so the column comes
+    from the spec doc's ``mode`` — the same shot engine
+    :func:`repro.campaigns.runner.shot_engine` would build.
+    """
+    if kind == "scenario":
+        mode = (spec_doc.get("mode", "memory")
+                if isinstance(spec_doc, dict) else "memory")
+        return SUCCESS_COLUMNS.get(mode, 0) if isinstance(mode, str) else 0
+    return SUCCESS_COLUMNS.get(kind, 0) if isinstance(kind, str) else 0
+
+
 class ServiceStore:
     """The STORE_DIR layout: result cache + checkpoint shards."""
 
@@ -95,7 +109,8 @@ def read_partial(path: Union[str, Path]) -> Optional[dict]:
             or header.get("format") != FORMAT:
         return None
     kind = header.get("kind")
-    column = SUCCESS_COLUMNS.get(kind, 0) if isinstance(kind, str) else 0
+    spec_doc = header.get("spec")
+    column = _success_column(kind, spec_doc)
 
     successes = trials = chunks = 0
     for line in lines[1:]:
@@ -109,7 +124,6 @@ def read_partial(path: Union[str, Path]) -> Optional[dict]:
         trials += len(outcome)
         chunks += 1
 
-    spec_doc = header.get("spec")
     requested: Optional[int] = None
     if isinstance(spec_doc, dict) and isinstance(kind, str):
         field = SHOT_FIELDS_BY_KIND.get(kind)

@@ -69,8 +69,10 @@ from repro.decoding.batched import ScratchArena, batched_cut_parities
 from repro.decoding.graph import SyndromeLattice
 from repro.decoding.greedy import greedy_cut_parity
 from repro.decoding.mwpm import MWPMDecoder
-from repro.decoding.weights import DistanceModel, relative_anomalous_weight
+from repro.decoding.weights import (DistanceModel, MultiRegionDistanceModel,
+                                    relative_anomalous_weight)
 from repro.noise.models import AnomalousRegion, PhenomenologicalNoise
+from repro.scenarios.model import Scenario
 from repro.sim import bitops
 from repro.sim.endtoend import estimate_strike_region
 from repro.sim.montecarlo import BinomialEstimate, wilson_interval
@@ -297,13 +299,28 @@ class MemoryShotKernel:
                  region: Optional[AnomalousRegion] = None,
                  p_ano: float = 0.5, decoder: str = "greedy",
                  informed: bool = False, cycles: Optional[int] = None,
-                 cache_matchings: bool = True, decode: str = "batched"):
+                 cache_matchings: bool = True, decode: str = "batched",
+                 scenario: Optional[Scenario] = None):
         if decode not in DECODE_MODES:
             raise ValueError(f"decode must be one of {DECODE_MODES}")
+        if scenario is not None:
+            if region is not None:
+                raise ValueError("pass either region or scenario, not both")
+            if not scenario.fixed:
+                raise ValueError(
+                    "memory-kernel scenarios need fixed event positions")
+            legacy = scenario.legacy_equivalent()
+            if legacy is not None:
+                # The degenerate scenario *is* the legacy kernel — route
+                # through the legacy fields so outcomes are structurally
+                # bit-identical per (seed, batch_size).
+                region, p_ano = legacy
+                scenario = None
         self.distance = distance
         self.p = p
         self.region = region
         self.p_ano = p_ano
+        self.scenario = scenario
         self.decoder = decoder
         self.informed = informed
         self.cycles = cycles if cycles is not None else distance
@@ -317,10 +334,24 @@ class MemoryShotKernel:
         """Build noise/lattice/decoder once (per process, per worker)."""
         if self._state is not None:
             return
-        noise = PhenomenologicalNoise(self.distance, self.p, self.p_ano,
-                                      self.region)
+        if self.scenario is not None:
+            noise = PhenomenologicalNoise(self.distance, self.p,
+                                          scenario=self.scenario)
+        else:
+            noise = PhenomenologicalNoise(self.distance, self.p, self.p_ano,
+                                          self.region)
         lattice = SyndromeLattice(self.distance)
-        if self.informed and self.region is not None:
+        if self.informed and self.scenario is not None \
+                and self.scenario.events:
+            regions = tuple(e.region() for e in self.scenario.events)
+            weights = tuple(relative_anomalous_weight(self.p, e.p_ano)
+                            for e in self.scenario.events)
+            if len(regions) == 1:
+                model = DistanceModel(self.distance, regions[0], weights[0])
+            else:
+                model = MultiRegionDistanceModel(self.distance, regions,
+                                                 weights)
+        elif self.informed and self.region is not None:
             w_ano = relative_anomalous_weight(self.p, self.p_ano)
             model = DistanceModel(self.distance, self.region, w_ano)
         else:
@@ -416,9 +447,14 @@ class EndToEndShotKernel:
     def __init__(self, distance: int, p: float, p_ano: float,
                  anomaly_size: int, onset: int, cycles: int,
                  c_win: int, n_th: int, alpha: float,
-                 decode: str = "batched"):
+                 decode: str = "batched", decoder: str = "greedy",
+                 scenario: Optional[Scenario] = None):
         if decode not in DECODE_MODES:
             raise ValueError(f"decode must be one of {DECODE_MODES}")
+        if decoder not in ("greedy", "mwpm"):
+            raise ValueError("decoder must be 'greedy' or 'mwpm'")
+        if scenario is not None and not scenario.events:
+            raise ValueError("end-to-end scenarios need at least one event")
         self.distance = distance
         self.p = p
         self.p_ano = p_ano
@@ -429,6 +465,8 @@ class EndToEndShotKernel:
         self.n_th = n_th
         self.alpha = alpha
         self.decode = decode
+        self.decoder = decoder
+        self.scenario = scenario
         self._state = None
         self._arena: Optional[ScratchArena] = None
 
@@ -439,11 +477,38 @@ class EndToEndShotKernel:
         stats = SyndromeStatistics.from_activity_rate(
             expected_activity_rate(self.p))
         v_th = detection_threshold(stats, self.c_win, self.alpha)
-        base_noise = PhenomenologicalNoise(self.distance, self.p, self.p_ano)
+        if self.scenario is not None and not self.scenario.uniform_base:
+            # Events are applied per shot by the sample stage; the noise
+            # model carries only the heterogeneous/drifting base field.
+            base = Scenario(events=(), rate_field=self.scenario.rate_field,
+                            drift=self.scenario.drift)
+            base_noise = PhenomenologicalNoise(self.distance, self.p,
+                                               scenario=base)
+        else:
+            base_noise = PhenomenologicalNoise(self.distance, self.p,
+                                               self.p_ano)
         naive_model = DistanceModel(self.distance)
-        w_ano = relative_anomalous_weight(self.p, self.p_ano)
+        if self.scenario is not None:
+            w_ano: object = tuple(
+                relative_anomalous_weight(self.p, e.p_ano)
+                for e in self.scenario.events)
+        else:
+            w_ano = relative_anomalous_weight(self.p, self.p_ano)
         self._arena = ScratchArena()
         self._state = (lattice, v_th, base_noise, naive_model, w_ano)
+
+    @property
+    def _batched_w_ano(self) -> Optional[float]:
+        """The chunk-wide region weight, or ``None`` if not uniform.
+
+        The region-bucketed engine takes one ``w_ano`` for a whole
+        chunk; scenarios whose events carry different weights decode
+        through the per-shot scoring loop instead.
+        """
+        w = self._state[4]
+        if isinstance(w, tuple):
+            return w[0] if all(x == w[0] for x in w) else None
+        return w
 
     def __getstate__(self):
         state = self.__dict__.copy()
@@ -456,9 +521,16 @@ class EndToEndShotKernel:
 
         The naive decode shares one :class:`DistanceModel` across every
         shot, so it batches; the oracle/detected decodes depend on each
-        shot's own (true or estimated) region and stay per shot.
+        shot's own (true or estimated) region and stay per shot.  MWPM
+        always decodes shot by shot.
         """
         _, _, _, naive_model, _ = self._state
+        if self.decoder == "mwpm":
+            mwpm = MWPMDecoder(naive_model)
+            return np.fromiter(
+                ((mwpm.decode(nodes).correction_cut_parity if len(nodes)
+                  else 0) for nodes in nodes_list),
+                dtype=np.int8, count=len(nodes_list))
         if self.decode == "batched":
             return batched_cut_parities(naive_model, nodes_list,
                                         arena=self._arena)
@@ -510,24 +582,58 @@ class EndToEndShotKernel:
         return (min(cycles, event_cycle + d), estimated,
                 event_cycle - self.onset)
 
+    def _decode_model(self, regions):
+        """The informed model for one shot's known region(s).
+
+        ``regions`` may be ``None`` (uniform), one
+        :class:`AnomalousRegion` (the legacy path and the detection
+        unit's estimate), or a sequence of regions (a scenario shot) —
+        length 0 and 1 reduce to the uniform and single-region models,
+        two or more compose a
+        :class:`~repro.decoding.weights.MultiRegionDistanceModel` with
+        the scenario's per-event weights.  A single estimate under a
+        multi-event scenario uses the first event's weight.
+        """
+        w = self._state[4]
+        ws = w if isinstance(w, tuple) else (w,)
+        if regions is None:
+            return self._state[3]
+        if isinstance(regions, AnomalousRegion):
+            return DistanceModel(self.distance, regions, ws[0])
+        regions = tuple(regions)
+        if not regions:
+            return self._state[3]
+        if len(ws) != len(regions):
+            ws = (ws[0],) * len(regions)
+        if len(regions) == 1:
+            return DistanceModel(self.distance, regions[0], ws[0])
+        return MultiRegionDistanceModel(self.distance, regions, ws)
+
+    def _matching_parity(self, model, nodes: np.ndarray) -> int:
+        """One shot's matching cut parity under the spec'd decoder."""
+        if self.decoder == "mwpm":
+            if len(nodes) == 0:
+                return 0
+            return int(MWPMDecoder(model).decode(nodes)
+                       .correction_cut_parity)
+        return greedy_cut_parity(model, nodes)
+
     def _score(self, nodes: np.ndarray, error_parity: int,
-               naive_parity: int, true_region: AnomalousRegion,
+               naive_parity: int, true_region,
                estimated: Optional[AnomalousRegion]):
         """(naive, detected, oracle) failures for one decoded shot.
 
         The naive matching is precomputed for the whole chunk (one
         shared model — it batches); the oracle/detected matchings use
-        this shot's own regions.
+        this shot's own regions (possibly several, under a scenario).
         """
-        _, _, _, _, w_ano = self._state
-        d = self.distance
         naive = error_parity ^ naive_parity
-        oracle = error_parity ^ greedy_cut_parity(
-            DistanceModel(d, true_region, w_ano), nodes)
+        oracle = error_parity ^ self._matching_parity(
+            self._decode_model(true_region), nodes)
         if estimated is None:
             return naive, naive, oracle
-        detected = error_parity ^ greedy_cut_parity(
-            DistanceModel(d, estimated, w_ano), nodes)
+        detected = error_parity ^ self._matching_parity(
+            self._decode_model(estimated), nodes)
         return naive, detected, oracle
 
     def pipeline(self) -> ShotPipeline:
@@ -634,9 +740,12 @@ class DetectionShotKernel:
     def __init__(self, distance: int, p: float, p_ano: float,
                  anomaly_size: int, c_win: int, n_th: int, alpha: float,
                  normal_cycles: int, post_cycles: int,
-                 scan: str = "batched"):
+                 scan: str = "batched",
+                 scenario: Optional[Scenario] = None):
         if scan not in DECODE_MODES:
             raise ValueError(f"scan must be one of {DECODE_MODES}")
+        if scenario is not None and not scenario.events:
+            raise ValueError("detection scenarios need at least one event")
         self.scan = scan
         self.distance = distance
         self.p = p
@@ -647,6 +756,7 @@ class DetectionShotKernel:
         self.alpha = alpha
         self.normal_cycles = normal_cycles
         self.post_cycles = post_cycles
+        self.scenario = scenario
         self._state = None
 
     def prepare(self) -> None:
@@ -655,7 +765,14 @@ class DetectionShotKernel:
         stats = SyndromeStatistics.from_activity_rate(
             expected_activity_rate(self.p))
         v_th = detection_threshold(stats, self.c_win, self.alpha)
-        base_noise = PhenomenologicalNoise(self.distance, self.p, self.p_ano)
+        if self.scenario is not None and not self.scenario.uniform_base:
+            base = Scenario(events=(), rate_field=self.scenario.rate_field,
+                            drift=self.scenario.drift)
+            base_noise = PhenomenologicalNoise(self.distance, self.p,
+                                               scenario=base)
+        else:
+            base_noise = PhenomenologicalNoise(self.distance, self.p,
+                                               self.p_ano)
         self._state = (v_th, base_noise, SyndromeLattice(self.distance))
 
     def __getstate__(self):
@@ -663,8 +780,7 @@ class DetectionShotKernel:
         state["_state"] = None
         return state
 
-    def _score_trial(self, activity: np.ndarray,
-                     region: AnomalousRegion) -> tuple:
+    def _score_trial(self, activity: np.ndarray, region) -> tuple:
         """One trial's windowed-count scan and outcome row.
 
         Returns ``(false_positive, detected, latency, position_error)``;
@@ -692,8 +808,17 @@ class DetectionShotKernel:
         return out
 
     def _score_scan(self, over: np.ndarray, n_over: np.ndarray,
-                    region: AnomalousRegion) -> tuple:
-        """The scan tail shared by the per-shot and batched passes."""
+                    region) -> tuple:
+        """The scan tail shared by the per-shot and batched passes.
+
+        ``region`` may be a sequence of per-event regions (a scenario
+        trial): the *first* event is the one the false-positive window
+        and position error are scored against — later back-to-back
+        strikes ride inside the post-detection stream, stressing the
+        detector's post-clear blindness window.
+        """
+        if isinstance(region, (list, tuple)):
+            region = region[0]
         c_win, onset = self.c_win, self.normal_cycles
         if not len(n_over):
             return (0.0, 0.0, -1.0, np.nan)
@@ -705,8 +830,8 @@ class DetectionShotKernel:
             return (false_positive, 0.0, -1.0, np.nan)
         cycle = int(fired[0]) + pre + c_win - 1
         flag_r, flag_c = np.nonzero(over[cycle - (c_win - 1)])
-        centre_r = region.row_lo + (self.anomaly_size - 1) / 2.0
-        centre_c = region.col_lo + (self.anomaly_size - 1) / 2.0
+        centre_r = region.row_lo + (region.size - 1) / 2.0
+        centre_c = region.col_lo + (region.size - 1) / 2.0
         err = math.hypot(int(np.median(flag_r)) - centre_r,
                          int(np.median(flag_c)) - centre_c)
         return (false_positive, 1.0, cycle - onset, err)

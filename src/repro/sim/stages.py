@@ -300,7 +300,16 @@ class MemoryAccumulateStage(_KernelStage):
 # End-to-end kernel stages
 # ----------------------------------------------------------------------
 class EndToEndSampleStage(_KernelStage):
-    """Per-shot strike regions + base draw + anomalous overwrites."""
+    """Per-shot strike regions + base draw + anomalous overwrites.
+
+    With a scenario, each shot resolves the *whole* event list to a
+    region tuple (random positions draw through the same
+    :meth:`AnomalousRegion.random` calls, shot by shot) and the
+    overwrites apply in event-declaration order with each event's own
+    ``p_ano`` — so a one-random-event scenario consumes the identical
+    uniform stream as the legacy path and is bit-identical per
+    ``(seed, batch_size)``.
+    """
 
     name = "sample"
 
@@ -309,9 +318,16 @@ class EndToEndSampleStage(_KernelStage):
         base_noise = kernel._state[2]
         d, cycles = kernel.distance, kernel.cycles
         rng = ctx.rng
-        state.regions = [AnomalousRegion.random(d, kernel.anomaly_size,
-                                                rng, t_lo=kernel.onset)
-                         for _ in range(ctx.shots)]
+        scenario = getattr(kernel, "scenario", None)
+        if scenario is not None:
+            state.regions = [scenario.resolve_regions(d, rng)
+                             for _ in range(ctx.shots)]
+            p_anos = [event.p_ano for event in scenario.events]
+        else:
+            state.regions = [AnomalousRegion.random(d, kernel.anomaly_size,
+                                                    rng, t_lo=kernel.onset)
+                             for _ in range(ctx.shots)]
+            p_anos = None
         if ctx.packing == "bits":
             v, h, m = base_noise.sample_batch_packed(ctx.shots, cycles, rng)
             overwrite = _overwrite_anomalous_packed
@@ -320,8 +336,13 @@ class EndToEndSampleStage(_KernelStage):
             overwrite = _overwrite_anomalous
         # Regions differ per shot, so the anomalous overwrite is the one
         # per-shot sampling step (touching only the region's cells).
-        for s, region in enumerate(state.regions):
-            overwrite(v, h, m, s, region, d, kernel.p_ano, rng)
+        if p_anos is None:
+            for s, region in enumerate(state.regions):
+                overwrite(v, h, m, s, region, d, kernel.p_ano, rng)
+        else:
+            for s, regs in enumerate(state.regions):
+                for region, p_ano in zip(regs, p_anos, strict=True):
+                    overwrite(v, h, m, s, region, d, p_ano, rng)
         state.v, state.h, state.m = v, h, m
 
 
@@ -397,7 +418,9 @@ class EndToEndDecodeStage(_KernelStage):
     each shot's true strike box into the bucket tensors, and detected
     folds each detecting shot's estimate (whose onset varies shot to
     shot); misses inherit the naive matching.  ``decode="pershot"``
-    keeps the per-shot reference loop.
+    keeps the per-shot reference loop, which is also where MWPM decodes
+    and scenarios whose events carry non-uniform region weights go (the
+    bucketed engine takes one weight per chunk).
     """
 
     name = "decode"
@@ -407,8 +430,12 @@ class EndToEndDecodeStage(_KernelStage):
         shots = len(state.nodes_list)
         naive = kernel._naive_parities(state.nodes_list)
         out = np.empty((shots, 4), dtype=np.int64)
-        if kernel.decode == "batched":
-            w_ano = kernel._state[4]
+        w_ano = (kernel._batched_w_ano
+                 if hasattr(kernel, "_batched_w_ano") else None)
+        use_batched = (kernel.decode == "batched"
+                       and getattr(kernel, "decoder", "greedy") == "greedy"
+                       and w_ano is not None)
+        if use_batched:
             err = state.parities.astype(np.int8)
             oracle = batched_region_cut_parities(
                 kernel.distance, state.regions, state.nodes_list, w_ano,
@@ -456,18 +483,33 @@ class DetectionSampleStage(_KernelStage):
         base_noise = kernel._state[1]
         total = kernel.normal_cycles + kernel.post_cycles
         rng = ctx.rng
-        state.regions = [AnomalousRegion.random(
-            kernel.distance, kernel.anomaly_size, rng,
-            t_lo=kernel.normal_cycles) for _ in range(ctx.shots)]
+        scenario = getattr(kernel, "scenario", None)
+        if scenario is not None:
+            # Event onsets are the scenario's own (back-to-back strikes
+            # land inside the post window); positions resolve per trial.
+            state.regions = [scenario.resolve_regions(kernel.distance, rng)
+                             for _ in range(ctx.shots)]
+            p_anos = [event.p_ano for event in scenario.events]
+        else:
+            state.regions = [AnomalousRegion.random(
+                kernel.distance, kernel.anomaly_size, rng,
+                t_lo=kernel.normal_cycles) for _ in range(ctx.shots)]
+            p_anos = None
         if ctx.packing == "bits":
             v, h, m = base_noise.sample_batch_packed(ctx.shots, total, rng)
             overwrite = _overwrite_anomalous_packed
         else:
             v, h, m = base_noise.sample_batch(ctx.shots, total, rng)
             overwrite = _overwrite_anomalous
-        for s, region in enumerate(state.regions):
-            overwrite(v, h, m, s, region, kernel.distance, kernel.p_ano,
-                      rng)
+        if p_anos is None:
+            for s, region in enumerate(state.regions):
+                overwrite(v, h, m, s, region, kernel.distance,
+                          kernel.p_ano, rng)
+        else:
+            for s, regs in enumerate(state.regions):
+                for region, p_ano in zip(regs, p_anos, strict=True):
+                    overwrite(v, h, m, s, region, kernel.distance, p_ano,
+                              rng)
         state.v, state.h, state.m = v, h, m
 
 

@@ -29,6 +29,29 @@ class LeakySpec:
     extra: Optional[bytes] = None         # RL004: no JSON encoding
 
 
+@dataclass
+class MutableEvent:
+    """Nested in a spec, but mutable — embedding it breaks the hash."""
+
+    onset: int = 0
+
+
+@dataclass(frozen=True)
+class LeakyEvent:
+    """Frozen, but one of its own fields cannot ride the wire."""
+
+    onset: int = 0
+    members: set = None
+
+
+@dataclass(frozen=True)
+class NestedSpec:
+    kind = "corpus-nested"
+    distance: int = 3
+    event: MutableEvent = None            # RL004: nested not frozen
+    burst: Optional[LeakyEvent] = None    # RL004: nested field is a set
+
+
 @register_campaign(MutableSpec)
 def _run_mutable(spec, executor, store):
     return None
@@ -41,4 +64,9 @@ def _run_bare(spec, executor, store):
 
 @register_campaign(LeakySpec)
 def _run_leaky(spec, executor, store):
+    return None
+
+
+@register_campaign(NestedSpec)
+def _run_nested(spec, executor, store):
     return None

@@ -8,6 +8,17 @@ from repro.noise.models import AnomalousRegion
 
 
 @dataclass(frozen=True)
+class CleanEvent:
+    """A frozen value object nested in the spec: wire-legal without a
+    manifest ``json_convertible`` entry, because RL004 recurses."""
+
+    onset: int = 0
+    size: int = 1
+    weight: float = 1.0
+    chain: "Optional[CleanEvent]" = None  # self-reference: still fine
+
+
+@dataclass(frozen=True)
 class CleanSpec:
     kind = "corpus-clean"
 
@@ -18,6 +29,8 @@ class CleanSpec:
     areas: tuple[float, ...] = (1.0, 2.0)
     axes: dict = field(default_factory=dict)
     label: "str" = "x"
+    event: Optional[CleanEvent] = None
+    bursts: tuple[CleanEvent, ...] = ()
 
 
 @dataclass

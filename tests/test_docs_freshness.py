@@ -16,7 +16,38 @@ def test_repo_docs_are_fresh(capsys):
 
 def test_parser_extraction_sees_every_subcommand():
     assert check_docs.registered_subcommands(ROOT) == {
-        "run", "validate", "hash", "worker", "serve"}
+        "run", "validate", "hash", "worker", "serve", "gc"}
+
+
+def test_catalog_extraction_sees_every_scenario():
+    assert check_docs.registered_scenarios(ROOT) == {
+        "overlapping-strikes", "back-to-back-strikes",
+        "heterogeneous-base-rate", "drifting-base-rate",
+        "leakage-burst", "decoder-frontier"}
+    assert check_docs.documented_scenarios(ROOT) \
+        == check_docs.registered_scenarios(ROOT)
+
+
+def test_catalog_drift_is_detected(tmp_path, capsys):
+    (tmp_path / "src/repro/campaigns").mkdir(parents=True)
+    (tmp_path / "src/repro/scenarios").mkdir()
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "src/repro/campaigns/cli.py").write_text(
+        'def build():\n    sub.add_parser("run")\n')
+    (tmp_path / "src/repro/scenarios/catalog.py").write_text(
+        '@register_scenario("real-entry")\n'
+        'def _real():\n    pass\n')
+    # The table lists a ghost entry and omits the real one.
+    (tmp_path / "README.md").write_text(
+        "Use `python -m repro run`.\n"
+        "## Scenario catalog\n"
+        "| entry | engine | what |\n"
+        "|---|---|---|\n"
+        "| `ghost-entry` | memory | nothing |\n")
+    assert check_docs.main(tmp_path) == 1
+    out = capsys.readouterr().out
+    assert "ghost-entry" in out  # documented but unregistered
+    assert "real-entry" in out  # registered but undocumented
 
 
 def test_drift_is_detected(tmp_path, capsys):

@@ -1,0 +1,129 @@
+"""Direct tests for :mod:`repro.noise.leakage` (Sec. IX burst sources)."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import ReactionPolicy
+from repro.noise.leakage import (RECOMMENDED_POLICY, BurstEvent,
+                                 BurstProcess, BurstSource,
+                                 ion_trap_processes)
+from repro.noise.models import AnomalousRegion
+
+
+def _process(**overrides):
+    kwargs = dict(source=BurstSource.LEAKAGE, rate_per_cycle=2e-3,
+                  size=2, duration_cycles=50, rows=8, cols=9,
+                  rng=np.random.default_rng(7))
+    kwargs.update(overrides)
+    return BurstProcess(**kwargs)
+
+
+class TestBurstProcess:
+    def test_sample_is_deterministic_per_seed(self):
+        a = _process(rng=np.random.default_rng(3)).sample(10_000)
+        b = _process(rng=np.random.default_rng(3)).sample(10_000)
+        assert a == b and len(a) > 0
+        c = _process(rng=np.random.default_rng(4)).sample(10_000)
+        assert a != c
+
+    def test_events_are_sorted_and_in_bounds(self):
+        events = _process().sample(50_000)
+        assert len(events) > 10
+        cycles = [e.cycle for e in events]
+        assert cycles == sorted(cycles)
+        for event in events:
+            assert 0 <= event.cycle < 50_000
+            # the size-2 box stays on the 8x9 lattice
+            assert 0 <= event.row <= 8 - 2
+            assert 0 <= event.col <= 9 - 2
+            assert event.size == 2
+            assert event.duration_cycles == 50
+            assert event.source is BurstSource.LEAKAGE
+
+    def test_arrival_count_tracks_the_rate(self):
+        events = _process(rate_per_cycle=1e-2).sample(100_000)
+        # Poisson(1000): a 10-sigma band is [684, 1316]
+        assert 684 <= len(events) <= 1316
+
+    def test_zero_rate_is_silent(self):
+        assert _process(rate_per_cycle=0.0).sample(10_000) == []
+
+    def test_invalid_parameters_are_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            _process(rate_per_cycle=-1e-3)
+        with pytest.raises(ValueError, match="positive"):
+            _process(size=0)
+        with pytest.raises(ValueError, match="positive"):
+            _process(duration_cycles=0)
+
+
+class TestBurstEvent:
+    def test_region_spans_the_event_window(self):
+        event = BurstEvent(BurstSource.ATOM_LOSS, cycle=120, row=2,
+                           col=3, size=1, duration_cycles=80)
+        region = event.region()
+        assert region == AnomalousRegion(2, 3, 1, t_lo=120, t_hi=200)
+        clipped = event.region(t_hi=150)
+        assert clipped.t_hi == 150 and clipped.t_lo == 120
+
+    def test_recommended_policy_covers_every_source(self):
+        assert set(RECOMMENDED_POLICY) == set(BurstSource)
+        # cosmic rays expand in place; everything else needs repair
+        # (reload / re-pump / re-calibrate), i.e. relocation.
+        for source in BurstSource:
+            expected = (ReactionPolicy.EXPAND
+                        if source is BurstSource.COSMIC_RAY
+                        else ReactionPolicy.RELOCATE)
+            assert RECOMMENDED_POLICY[source] is expected
+            event = BurstEvent(source, 0, 0, 0, 1, 1)
+            assert event.recommended_policy is expected
+
+
+class TestIonTrapProcesses:
+    def test_reference_rates_and_shapes(self):
+        rows, cols, cycle_s = 12, 13, 1e-4
+        procs = ion_trap_processes(rows, cols,
+                                   np.random.default_rng(1),
+                                   cycle_s=cycle_s)
+        by_source = {p.source: p for p in procs}
+        assert set(by_source) == {
+            BurstSource.ATOM_LOSS, BurstSource.CRYSTAL_SCRAMBLE,
+            BurstSource.LEAKAGE, BurstSource.CALIBRATION_DRIFT}
+
+        sites = rows * cols
+        per_site_loss_hz = 1.0 / (14 * 86_400)
+        loss = by_source[BurstSource.ATOM_LOSS]
+        assert loss.rate_per_cycle == pytest.approx(
+            per_site_loss_hz * sites * cycle_s)
+        assert loss.size == 1
+
+        scramble = by_source[BurstSource.CRYSTAL_SCRAMBLE]
+        assert scramble.rate_per_cycle == pytest.approx(
+            0.1 * loss.rate_per_cycle)
+        assert scramble.size == max(rows, cols)  # the whole chain
+
+        leak = by_source[BurstSource.LEAKAGE]
+        assert leak.rate_per_cycle == pytest.approx(1e-7 * sites)
+        assert leak.size == 1
+
+        drift = by_source[BurstSource.CALIBRATION_DRIFT]
+        assert drift.rate_per_cycle == pytest.approx(
+            cycle_s / (4 * 3_600))
+        assert drift.size == 3
+
+        for proc in procs:
+            assert proc.rows == rows and proc.cols == cols
+            assert proc.duration_cycles >= 50_000
+
+    def test_processes_share_one_rng_stream(self):
+        """All four processes draw from the caller's generator, so one
+        seed fixes the whole timeline."""
+        def timeline(seed):
+            events = []
+            for proc in ion_trap_processes(6, 7,
+                                           np.random.default_rng(seed)):
+                events.extend(proc.sample(10_000_000))
+            return events
+
+        assert timeline(11) == timeline(11)
+        assert timeline(11) != timeline(12)

@@ -43,7 +43,7 @@ def rules_fired(report):
 # ----------------------------------------------------------------------
 class TestCorpus:
     @pytest.mark.parametrize("rule, expected_bad", [
-        ("RL001", 8), ("RL002", 3), ("RL003", 3), ("RL004", 6),
+        ("RL001", 8), ("RL002", 3), ("RL003", 3), ("RL004", 8),
         ("RL005", 6),
     ])
     def test_rule_fires_on_bad_and_not_on_good(self, rule, expected_bad):
@@ -77,13 +77,44 @@ class TestCorpus:
 
     def test_rl004_is_structural_not_name_based(self):
         report = lint("rl004_good.py")
-        # NotASpec is mutable and unserializable but never registered.
+        # NotASpec is mutable and unserializable but never registered;
+        # CleanEvent is accepted by recursion, not by manifest listing.
         assert report.diagnostics == []
         bad = lint("rl004_bad.py")
         by_message = "\n".join(d.message for d in bad.diagnostics)
         assert "MutableSpec" in by_message
         assert "BareSpec" in by_message
         assert "LeakySpec.payload" in by_message
+
+    def test_rl004_recurses_into_nested_dataclasses(self):
+        bad = lint("rl004_bad.py")
+        by_message = "\n".join(d.message for d in bad.diagnostics)
+        # The finding lands on the spec field that reaches the bad
+        # nesting, and names both the nesting and its defect.
+        assert "NestedSpec.event" in by_message
+        assert "'MutableEvent' is not frozen" in by_message
+        assert "NestedSpec.burst" in by_message
+        assert "LeakyEvent.members" in by_message
+
+    def test_rl004_nested_cycle_terminates(self, tmp_path):
+        target = tmp_path / "specs.py"
+        target.write_text(
+            "from dataclasses import dataclass\n"
+            "from typing import Optional\n"
+            "from repro.campaigns import register_campaign\n"
+            "@dataclass(frozen=True)\n"
+            "class Node:\n"
+            "    next: 'Optional[Node]' = None\n"
+            "@dataclass(frozen=True)\n"
+            "class RingSpec:\n"
+            "    head: Optional[Node] = None\n"
+            "@register_campaign(RingSpec)\n"
+            "def _run(spec, executor, store):\n"
+            "    return None\n")
+        report = run_paths([target],
+                           manifest=load_manifest(CORPUS_MANIFEST),
+                           lint_tests=True)
+        assert report.diagnostics == []
 
     def test_rl005_set_iteration_but_not_sorted(self):
         bad_msgs = [d.message for d in lint("rl005_bad.py").diagnostics]

@@ -8,6 +8,11 @@ it runs without numpy in a bare CI job).  Two directions:
 * every registered subcommand must be mentioned in README.md — the
   front door may not silently fall behind the CLI.
 
+The same discipline covers the scenario catalog: README's
+"Scenario catalog" table must list exactly the entries registered via
+``@register_scenario(...)`` in ``src/repro/scenarios/catalog.py`` —
+no ghosts, no omissions.
+
 Run: ``python tools/check_docs.py`` (exit 1 on drift).
 """
 
@@ -17,10 +22,14 @@ import sys
 from pathlib import Path
 
 CLI = Path("src/repro/campaigns/cli.py")
+CATALOG = Path("src/repro/scenarios/catalog.py")
 DOCS = ("README.md", "docs")
 
 #: ``python -m repro run|validate spec.json`` → ["run", "validate"].
 MENTION = re.compile(r"python -m repro\s+([a-z0-9|-]+)")
+
+#: A catalog-table row: ``| `entry-name` | ... |``.
+TABLE_ROW = re.compile(r"^\|\s*`([a-z0-9-]+)`\s*\|")
 
 
 def registered_subcommands(root: Path) -> set:
@@ -50,6 +59,64 @@ def documented_subcommands(root: Path):
                 yield path.relative_to(root), name
 
 
+def registered_scenarios(root: Path) -> set:
+    """Names passed to ``register_scenario(...)`` in the catalog module.
+
+    Empty when the catalog module does not exist (pre-scenario trees,
+    the drift-test fixtures).
+    """
+    path = root / CATALOG
+    if not path.is_file():
+        return set()
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    names = set()
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "register_scenario"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            names.add(node.args[0].value)
+    return names
+
+
+def documented_scenarios(root: Path) -> set:
+    """Entry names in README's "Scenario catalog" table."""
+    readme = root / "README.md"
+    if not readme.is_file():
+        return set()
+    names = set()
+    in_section = False
+    for line in readme.read_text(encoding="utf-8").splitlines():
+        if line.startswith("## "):
+            in_section = line.strip() == "## Scenario catalog"
+            continue
+        if in_section:
+            match = TABLE_ROW.match(line)
+            if match:
+                names.add(match.group(1))
+    return names
+
+
+def _catalog_problems(root: Path) -> list:
+    real = registered_scenarios(root)
+    if not real:
+        return []  # no catalog module: nothing to keep honest
+    documented = documented_scenarios(root)
+    problems = []
+    for name in sorted(documented - real):
+        problems.append(
+            f"README.md: scenario-catalog table lists `{name}`, which "
+            f"{CATALOG} does not register "
+            f"(has: {', '.join(sorted(real))})")
+    for name in sorted(real - documented):
+        problems.append(
+            f"README.md: scenario `{name}` is registered in {CATALOG} "
+            "but missing from the Scenario catalog table")
+    return problems
+
+
 def main(root: Path = Path(__file__).resolve().parent.parent) -> int:
     real = registered_subcommands(root)
     if not real:
@@ -68,10 +135,13 @@ def main(root: Path = Path(__file__).resolve().parent.parent) -> int:
         problems.append(
             f"README.md: subcommand `{name}` is registered in {CLI} "
             "but never shown as `python -m repro " + name + "`")
+    problems.extend(_catalog_problems(root))
     for problem in problems:
         print(f"check_docs: {problem}")
     if not problems:
+        scenarios = registered_scenarios(root)
         print(f"check_docs: clean ({len(real)} subcommands, "
+              f"{len(scenarios)} catalog scenarios, "
               "README + docs/ in sync)")
     return 1 if problems else 0
 

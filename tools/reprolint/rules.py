@@ -349,6 +349,16 @@ class SpecDiscipline(Rule):
     structural: the rule finds ``register_campaign(X)`` call sites
     anywhere in the linted tree and then audits the class definition of
     every ``X`` — naming conventions play no part.
+
+    Field audits *recurse* through nested dataclasses: an annotation
+    naming a dataclass defined anywhere in the linted tree is legal
+    exactly when that dataclass is itself frozen and every one of its
+    fields (transitively) survives the wire — so a spec can embed rich
+    value objects (``Scenario`` holding ``StrikeEvent`` tuples) without
+    each one needing a manifest ``json_convertible`` entry, while a
+    mutable or set-carrying nested type is still a finding at the spec
+    field that reaches it.  Self-referential nestings terminate (a
+    cycle is audited once).
     """
 
     rule_id = "RL004"
@@ -361,19 +371,24 @@ class SpecDiscipline(Rule):
     def check_project(self, contexts: list,
                       manifest: Manifest) -> Iterator[Diagnostic]:
         registered = set()
+        dataclasses = {}  # class name -> its ClassDef, first wins
         for ctx in contexts:
             for node in ast.walk(ctx.tree):
                 if isinstance(node, ast.Call):
                     name = self._registration_target(node)
                     if name is not None:
                         registered.add(name)
+                elif isinstance(node, ast.ClassDef) \
+                        and self._dataclass_frozen(node) is not None:
+                    dataclasses.setdefault(node.name, node)
         if not registered:
             return
         for ctx in contexts:
             for node in ast.walk(ctx.tree):
                 if isinstance(node, ast.ClassDef) \
                         and node.name in registered:
-                    yield from self._check_spec_class(ctx, node, manifest)
+                    yield from self._check_spec_class(
+                        ctx, node, manifest, dataclasses)
 
     @staticmethod
     def _registration_target(call: ast.Call) -> Optional[str]:
@@ -390,7 +405,8 @@ class SpecDiscipline(Rule):
         return None
 
     def _check_spec_class(self, ctx, node: ast.ClassDef,
-                          manifest: Manifest) -> Iterator[Diagnostic]:
+                          manifest: Manifest,
+                          dataclasses: dict) -> Iterator[Diagnostic]:
         frozen = self._dataclass_frozen(node)
         if frozen is None:
             yield ctx.diagnostic(
@@ -410,8 +426,9 @@ class SpecDiscipline(Rule):
             head = self._annotation_head(stmt.annotation)
             if head == "ClassVar":
                 continue
-            problem = self._json_problem(stmt.annotation,
-                                         manifest.json_convertible)
+            problem = self._json_problem(
+                stmt.annotation, manifest.json_convertible,
+                dataclasses, frozenset({node.name}))
             if problem:
                 yield ctx.diagnostic(
                     self, stmt,
@@ -444,8 +461,14 @@ class SpecDiscipline(Rule):
         parts = dotted_parts(node)
         return parts[-1] if parts else None
 
-    def _json_problem(self, node, convertible) -> Optional[str]:
-        """Why an annotation is not JSON-representable (None = fine)."""
+    def _json_problem(self, node, convertible, dataclasses,
+                      visiting) -> Optional[str]:
+        """Why an annotation is not JSON-representable (None = fine).
+
+        ``dataclasses`` maps class names to the dataclass definitions
+        found in the linted tree; ``visiting`` is the set of class
+        names already being audited up-stack (the cycle guard).
+        """
         if isinstance(node, ast.Constant):
             if node.value is None or node.value is Ellipsis:
                 return None
@@ -454,7 +477,8 @@ class SpecDiscipline(Rule):
                     inner = ast.parse(node.value, mode="eval").body
                 except SyntaxError:
                     return f"unparsable annotation {node.value!r}"
-                return self._json_problem(inner, convertible)
+                return self._json_problem(inner, convertible,
+                                          dataclasses, visiting)
             return f"unexpected literal {node.value!r}"
         if isinstance(node, (ast.Name, ast.Attribute)):
             name = dotted_parts(node)
@@ -468,9 +492,14 @@ class SpecDiscipline(Rule):
                 return None
             if name in _KNOWN_BAD:
                 return f"'{name}' {_KNOWN_BAD[name]}"
-            return (f"'{name}' is not a JSON type (declare it in the "
-                    "manifest's [rl004] json_convertible list if the "
-                    "spec serializer converts it)")
+            if name in dataclasses:
+                return self._nested_problem(name, convertible,
+                                            dataclasses, visiting)
+            return (f"'{name}' is not a JSON type (make it a frozen "
+                    "dataclass with JSON-representable fields, or "
+                    "declare it in the manifest's [rl004] "
+                    "json_convertible list if the spec serializer "
+                    "converts it)")
         if isinstance(node, ast.Subscript):
             head = self._annotation_head(node)
             if head in _KNOWN_BAD:
@@ -483,14 +512,46 @@ class SpecDiscipline(Rule):
             elements = inner.elts if isinstance(inner, ast.Tuple) \
                 else [inner]
             for element in elements:
-                problem = self._json_problem(element, convertible)
+                problem = self._json_problem(element, convertible,
+                                             dataclasses, visiting)
                 if problem:
                     return problem
             return None
         if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
-            return (self._json_problem(node.left, convertible)
-                    or self._json_problem(node.right, convertible))
+            return (self._json_problem(node.left, convertible,
+                                       dataclasses, visiting)
+                    or self._json_problem(node.right, convertible,
+                                          dataclasses, visiting))
         return "unrecognized annotation construct"
+
+    def _nested_problem(self, name, convertible, dataclasses,
+                        visiting) -> Optional[str]:
+        """Audit a nested dataclass reached from a spec field.
+
+        The nesting is wire-legal when the dataclass is frozen and all
+        its fields recursively survive JSON — the same bar the spec
+        itself clears, because these values travel inside the hashed
+        spec document.
+        """
+        if name in visiting:
+            return None  # cycle: this class is already under audit
+        node = dataclasses[name]
+        if self._dataclass_frozen(node) is not True:
+            return (f"nested dataclass '{name}' is not frozen — every "
+                    "value embedded in a hashed spec must be immutable")
+        visiting = visiting | {name}
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign) \
+                    or not isinstance(stmt.target, ast.Name):
+                continue
+            if self._annotation_head(stmt.annotation) == "ClassVar":
+                continue
+            problem = self._json_problem(stmt.annotation, convertible,
+                                         dataclasses, visiting)
+            if problem:
+                return (f"nested dataclass field "
+                        f"'{name}.{stmt.target.id}': {problem}")
+        return None
 
 
 # ----------------------------------------------------------------------
